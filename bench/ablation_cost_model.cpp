@@ -1,0 +1,65 @@
+// Extension: analytic cost-model accuracy (paper section 6).
+//
+// The paper's long-term goal is "simple but reasonably accurate cost
+// models to guide and automate the selection of an appropriate
+// strategy."  This bench compares the analytic estimate against the
+// simulated execution time for every (app, strategy, P) point, reports
+// the prediction error, and checks whether picking the strategy by
+// estimate matches the strategy that actually wins in simulation.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace adr;
+  using namespace adr::bench;
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+
+  std::cout << "== Extension: cost-model accuracy & auto-selection ==\n\n";
+
+  int selections = 0, correct = 0;
+  double total_abs_err = 0.0;
+  int points = 0;
+
+  for (emu::PaperApp app : args.apps) {
+    std::cout << "-- " << to_string(app) << " --\n";
+    Table table({"P", "Strategy", "Simulated (s)", "Predicted (s)", "Error %"});
+    for (int nodes : {8, 32, 128}) {
+      double best_sim = 1e300, best_pred = 1e300;
+      StrategyKind sim_winner = StrategyKind::kFRA;
+      StrategyKind pred_winner = StrategyKind::kFRA;
+      for (StrategyKind strategy : paper_strategies()) {
+        emu::ExperimentConfig cfg;
+        cfg.app = app;
+        cfg.nodes = nodes;
+        cfg.strategy = strategy;
+        cfg.input_chunks = args.chunks_for(app, nodes, /*scaled=*/false);
+        const emu::ExperimentResult r = emu::run_experiment(cfg);
+        const double err =
+            100.0 * (r.predicted.total_s - r.stats.total_s) / r.stats.total_s;
+        total_abs_err += std::abs(err);
+        ++points;
+        table.add_row({std::to_string(nodes), to_string(strategy),
+                       fmt(r.stats.total_s, 2), fmt(r.predicted.total_s, 2),
+                       fmt(err, 1)});
+        if (r.stats.total_s < best_sim) {
+          best_sim = r.stats.total_s;
+          sim_winner = strategy;
+        }
+        if (r.predicted.total_s < best_pred) {
+          best_pred = r.predicted.total_s;
+          pred_winner = strategy;
+        }
+      }
+      ++selections;
+      if (sim_winner == pred_winner) ++correct;
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "Mean |prediction error|: " << fmt(total_abs_err / points, 1) << "%\n";
+  std::cout << "Auto-selection picked the simulated winner in " << correct << "/"
+            << selections << " machine points.\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Extension: the hybrid strategy sketched in the paper's section 6.
+//
+// "Our experimental results suggest that a hybrid strategy may provide
+// better performance" — this bench sweeps the hybrid's replication
+// threshold between the SRA-like and DA-like extremes and reports where
+// it lands relative to the three paper strategies.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace adr;
+  using namespace adr::bench;
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+
+  std::cout << "== Extension: hybrid replication strategy (paper section 6) ==\n\n";
+  const int nodes = 32;
+
+  for (emu::PaperApp app : args.apps) {
+    std::cout << "-- " << to_string(app) << " (P=" << nodes << ") --\n";
+    Table table({"Strategy", "Ghost chunks", "Comm (MB/node)", "Exec time (s)"});
+
+    auto row = [&](StrategyKind strategy, double threshold, const std::string& label) {
+      emu::ExperimentConfig cfg;
+      cfg.app = app;
+      cfg.nodes = nodes;
+      cfg.strategy = strategy;
+      cfg.hybrid_threshold = threshold;
+      cfg.input_chunks = args.chunks_for(app, nodes, /*scaled=*/false);
+      const emu::ExperimentResult r = emu::run_experiment(cfg);
+      table.add_row({label, std::to_string(r.ghost_chunks),
+                     fmt(r.comm_mb_per_node(), 2), fmt(r.stats.total_s, 2)});
+    };
+
+    row(StrategyKind::kFRA, 0.0, "FRA");
+    row(StrategyKind::kSRA, 0.0, "SRA");
+    for (double threshold : {0.05, 0.15, 0.3, 0.6}) {
+      row(StrategyKind::kHybrid, threshold, "Hybrid t=" + fmt(threshold, 2));
+    }
+    row(StrategyKind::kDA, 0.0, "DA");
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "Expected: the hybrid interpolates between SRA (many ghosts, low\n"
+               "input forwarding) and DA (no ghosts, all forwarding); for some\n"
+               "threshold it should match or beat both extremes.\n";
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Every figure bench sweeps processors x strategies for one or more
+// application classes and prints a paper-style table (rows = strategy,
+// columns = processor count) plus a sparkline for quick trend reading.
+#pragma once
+
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "emulator/scenario.hpp"
+
+namespace adr::bench {
+
+inline const std::vector<int>& processor_counts() {
+  static const std::vector<int> counts = {8, 16, 32, 64, 128};
+  return counts;
+}
+
+inline const std::vector<StrategyKind>& paper_strategies() {
+  static const std::vector<StrategyKind> strategies = {
+      StrategyKind::kFRA, StrategyKind::kSRA, StrategyKind::kDA};
+  return strategies;
+}
+
+inline const std::vector<emu::PaperApp>& paper_apps() {
+  static const std::vector<emu::PaperApp> apps = {
+      emu::PaperApp::kSat, emu::PaperApp::kWcs, emu::PaperApp::kVm};
+  return apps;
+}
+
+struct BenchArgs {
+  /// Scale factor on dataset chunk counts (1.0 = paper scale).
+  double scale = 1.0;
+  bool fixed = true;
+  bool scaled = true;
+  /// Non-empty: also append rows "app,mode,strategy,P,value" here.
+  std::string csv_path;
+  std::vector<emu::PaperApp> apps = paper_apps();
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&](const char* prefix) -> const char* {
+        const std::size_t n = std::strlen(prefix);
+        return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+      };
+      if (const char* v = value("--scale=")) {
+        args.scale = std::stod(v);
+      } else if (const char* v = value("--mode=")) {
+        const std::string mode = v;
+        args.fixed = mode == "fixed" || mode == "both";
+        args.scaled = mode == "scaled" || mode == "both";
+      } else if (const char* v = value("--csv=")) {
+        args.csv_path = v;
+      } else if (const char* v = value("--app=")) {
+        const std::string app = v;
+        args.apps.clear();
+        if (app == "sat" || app == "all") args.apps.push_back(emu::PaperApp::kSat);
+        if (app == "wcs" || app == "all") args.apps.push_back(emu::PaperApp::kWcs);
+        if (app == "vm" || app == "all") args.apps.push_back(emu::PaperApp::kVm);
+      } else if (arg == "--help" || arg == "-h") {
+        std::cout << "flags: --csv=<path> --scale=<f> --mode=fixed|scaled|both --app=sat|wcs|vm|all\n";
+        std::exit(0);
+      }
+    }
+    return args;
+  }
+
+  /// Chunk count for one experiment (0 lets run_experiment use defaults).
+  int chunks_for(emu::PaperApp app, int nodes, bool scaled_mode) const {
+    const emu::PaperScenario s = emu::paper_scenario(app);
+    double chunks = static_cast<double>(s.base_chunks) * scale;
+    if (scaled_mode) chunks = chunks * nodes / 8.0;
+    return static_cast<int>(chunks);
+  }
+};
+
+/// Runs the P x strategy sweep, fills `table`, and optionally appends
+/// plot-friendly CSV rows to args.csv_path.
+inline void sweep(const BenchArgs& args, emu::PaperApp app, bool scaled_mode,
+                  const std::function<double(const emu::ExperimentResult&)>& metric,
+                  Table& table) {
+  std::ofstream csv;
+  if (!args.csv_path.empty()) {
+    csv.open(args.csv_path, std::ios::app);
+  }
+  for (StrategyKind strategy : paper_strategies()) {
+    std::vector<double> row;
+    for (int nodes : processor_counts()) {
+      emu::ExperimentConfig cfg;
+      cfg.app = app;
+      cfg.nodes = nodes;
+      cfg.strategy = strategy;
+      cfg.input_chunks = args.chunks_for(app, nodes, scaled_mode);
+      const emu::ExperimentResult result = emu::run_experiment(cfg);
+      row.push_back(metric(result));
+      if (csv.is_open()) {
+        csv << emu::to_string(app) << ',' << (scaled_mode ? "scaled" : "fixed")
+            << ',' << to_string(strategy) << ',' << nodes << ',' << row.back()
+            << '\n';
+      }
+    }
+    std::vector<std::string> cells;
+    cells.push_back(to_string(strategy));
+    for (double v : row) cells.push_back(fmt(v, 2));
+    cells.push_back(sparkline(row));
+    table.add_row(std::move(cells));
+  }
+}
+
+inline Table make_sweep_table() {
+  std::vector<std::string> headers = {"Strategy"};
+  for (int nodes : processor_counts()) headers.push_back("P=" + std::to_string(nodes));
+  headers.push_back("trend");
+  return Table(headers);
+}
+
+}  // namespace adr::bench

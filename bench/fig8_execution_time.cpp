@@ -1,0 +1,36 @@
+// Reproduces paper Figure 8: query execution time for SAT, WCS and VM,
+// with fixed input size (left column) and input scaled with the number
+// of processors (right column), for the FRA, SRA and DA strategies on
+// 8..128 simulated IBM SP nodes.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace adr;
+  using namespace adr::bench;
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+
+  std::cout << "== Figure 8: query execution time (seconds, virtual time on "
+               "the simulated IBM SP) ==\n";
+  if (args.scale != 1.0) std::cout << "(dataset scale factor " << args.scale << ")\n";
+
+  for (emu::PaperApp app : args.apps) {
+    for (bool scaled_mode : {false, true}) {
+      if (scaled_mode && !args.scaled) continue;
+      if (!scaled_mode && !args.fixed) continue;
+      std::cout << "\n-- " << to_string(app)
+                << (scaled_mode ? " (input scaled with processors)"
+                                : " (fixed input size)")
+                << " --\n";
+      Table table = make_sweep_table();
+      sweep(args, app, scaled_mode,
+            [](const emu::ExperimentResult& r) { return r.stats.total_s; }, table);
+      table.print(std::cout);
+    }
+  }
+  std::cout << "\nExpected shapes (paper section 4): times fall with P at fixed\n"
+               "input; FRA/SRA beat DA at small P for SAT and WCS and the gap\n"
+               "closes with P; under scaling DA grows while FRA/SRA stay flat.\n";
+  return 0;
+}

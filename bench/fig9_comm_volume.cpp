@@ -1,0 +1,34 @@
+// Reproduces paper Figure 9(a)-(b): per-processor communication volume
+// for fixed and scaled input sizes, SAT / WCS / VM, FRA / SRA / DA.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace adr;
+  using namespace adr::bench;
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+
+  std::cout << "== Figure 9(a)-(b): communication volume per processor (MB) ==\n";
+  if (args.scale != 1.0) std::cout << "(dataset scale factor " << args.scale << ")\n";
+
+  for (emu::PaperApp app : args.apps) {
+    for (bool scaled_mode : {false, true}) {
+      if (scaled_mode && !args.scaled) continue;
+      if (!scaled_mode && !args.fixed) continue;
+      std::cout << "\n-- " << to_string(app)
+                << (scaled_mode ? " (scaled input) [Fig 9b]" : " (fixed input) [Fig 9a]")
+                << " --\n";
+      Table table = make_sweep_table();
+      sweep(args, app, scaled_mode,
+            [](const emu::ExperimentResult& r) { return r.comm_mb_per_node(); }, table);
+      table.print(std::cout);
+    }
+  }
+  std::cout << "\nExpected shapes (paper section 4): DA's volume is proportional\n"
+               "to input chunks per processor (falls with P at fixed input, grows\n"
+               "under scaling); FRA's is proportional to the output chunks and\n"
+               "stays roughly constant; SRA tracks FRA until P exceeds the\n"
+               "fan-in, then drops below it.\n";
+  return 0;
+}

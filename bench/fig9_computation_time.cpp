@@ -1,0 +1,33 @@
+// Reproduces paper Figure 9(c)-(d): per-processor computation time for
+// fixed and scaled input sizes, SAT / WCS / VM, FRA / SRA / DA.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace adr;
+  using namespace adr::bench;
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+
+  std::cout << "== Figure 9(c)-(d): computation time per processor (seconds) ==\n";
+  if (args.scale != 1.0) std::cout << "(dataset scale factor " << args.scale << ")\n";
+
+  for (emu::PaperApp app : args.apps) {
+    for (bool scaled_mode : {false, true}) {
+      if (scaled_mode && !args.scaled) continue;
+      if (!scaled_mode && !args.fixed) continue;
+      std::cout << "\n-- " << to_string(app)
+                << (scaled_mode ? " (scaled input) [Fig 9d]" : " (fixed input) [Fig 9c]")
+                << " --\n";
+      Table table = make_sweep_table();
+      sweep(args, app, scaled_mode,
+            [](const emu::ExperimentResult& r) { return r.compute_s_per_node(); },
+            table);
+      table.print(std::cout);
+    }
+  }
+  std::cout << "\nExpected shapes (paper section 4): computation does not scale\n"
+               "perfectly — DA from load imbalance in local reduction, FRA/SRA\n"
+               "from the constant initialization and global combine overheads.\n";
+  return 0;
+}

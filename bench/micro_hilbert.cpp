@@ -1,0 +1,58 @@
+// Microbenchmark: Hilbert curve index computation.
+#include <benchmark/benchmark.h>
+
+#include "common/hilbert.hpp"
+
+namespace {
+
+using adr::hilbert_axes;
+using adr::hilbert_index;
+using adr::hilbert_index_in_domain;
+
+void BM_HilbertIndex2D(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  std::uint32_t x = 12345 & ((1u << bits) - 1), y = 54321 & ((1u << bits) - 1);
+  for (auto _ : state) {
+    const std::uint32_t axes[] = {x, y};
+    benchmark::DoNotOptimize(hilbert_index(axes, bits));
+    ++x;
+    x &= (1u << bits) - 1;
+  }
+}
+BENCHMARK(BM_HilbertIndex2D)->Arg(8)->Arg(16)->Arg(31);
+
+void BM_HilbertIndex3D(benchmark::State& state) {
+  std::uint32_t x = 1, y = 2, z = 3;
+  for (auto _ : state) {
+    const std::uint32_t axes[] = {x, y, z};
+    benchmark::DoNotOptimize(hilbert_index(axes, 16));
+    ++x;
+    x &= 0xffff;
+  }
+}
+BENCHMARK(BM_HilbertIndex3D);
+
+void BM_HilbertInverse2D(benchmark::State& state) {
+  std::uint64_t h = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hilbert_axes(h, 2, 16));
+    h = (h + 97) & 0xffffffffull;
+  }
+}
+BENCHMARK(BM_HilbertInverse2D);
+
+void BM_HilbertInDomain(benchmark::State& state) {
+  const adr::Rect domain = adr::Rect::cube(2, 0.0, 1.0);
+  double x = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hilbert_index_in_domain(adr::Point{x, 1.0 - x}, domain, 16));
+    x += 1e-4;
+    if (x > 1.0) x = 0.0;
+  }
+}
+BENCHMARK(BM_HilbertInDomain);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Microbenchmark: query planning cost (mapping construction, the three
+// strategies, and declustering) at paper-scale chunk counts.
+#include <benchmark/benchmark.h>
+
+#include "core/planner/mapping.hpp"
+#include "core/planner/strategy.hpp"
+#include "core/planner/tiling.hpp"
+#include "emulator/scenario.hpp"
+#include "storage/decluster.hpp"
+
+namespace {
+
+using namespace adr;
+
+struct PlanningFixture {
+  emu::EmulatedApp app;
+  std::vector<Rect> in_mbrs, out_mbrs;
+  ChunkMapping mapping;
+  PlannerInput input;
+
+  explicit PlanningFixture(int chunks, int nodes) {
+    app = emu::build_app(emu::paper_scenario(emu::PaperApp::kSat), chunks, 42);
+    for (const Chunk& c : app.input_chunks) in_mbrs.push_back(c.meta().mbr);
+    for (const Chunk& c : app.output_chunks) out_mbrs.push_back(c.meta().mbr);
+    IdentityMap drop(2);
+    mapping = build_mapping(in_mbrs, out_mbrs, &drop);
+    input.num_nodes = nodes;
+    input.memory_per_node = 32ull << 20;
+    input.mapping = &mapping;
+    for (std::size_t i = 0; i < in_mbrs.size(); ++i) {
+      input.owner_of_input.push_back(static_cast<int>(i % static_cast<size_t>(nodes)));
+      input.input_bytes.push_back(178 * 1024);
+    }
+    for (std::size_t o = 0; o < out_mbrs.size(); ++o) {
+      input.owner_of_output.push_back(static_cast<int>(o % static_cast<size_t>(nodes)));
+      input.output_bytes.push_back(100 * 1024);
+      input.accum_bytes.push_back(800 * 1024);
+    }
+    input.output_order =
+        tiling_order(out_mbrs, app.output_domain, TilingOrder::kHilbert);
+  }
+};
+
+void BM_BuildMapping(benchmark::State& state) {
+  PlanningFixture f(static_cast<int>(state.range(0)), 32);
+  IdentityMap drop(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_mapping(f.in_mbrs, f.out_mbrs, &drop));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildMapping)->Arg(9000)->Arg(36000);
+
+void BM_PlanFRA(benchmark::State& state) {
+  PlanningFixture f(static_cast<int>(state.range(0)), 32);
+  for (auto _ : state) benchmark::DoNotOptimize(plan_fra(f.input));
+}
+BENCHMARK(BM_PlanFRA)->Arg(9000);
+
+void BM_PlanSRA(benchmark::State& state) {
+  PlanningFixture f(static_cast<int>(state.range(0)), 32);
+  for (auto _ : state) benchmark::DoNotOptimize(plan_sra(f.input));
+}
+BENCHMARK(BM_PlanSRA)->Arg(9000);
+
+void BM_PlanDA(benchmark::State& state) {
+  PlanningFixture f(static_cast<int>(state.range(0)), 32);
+  for (auto _ : state) benchmark::DoNotOptimize(plan_da(f.input));
+}
+BENCHMARK(BM_PlanDA)->Arg(9000);
+
+void BM_HilbertDecluster(benchmark::State& state) {
+  PlanningFixture f(static_cast<int>(state.range(0)), 32);
+  std::vector<ChunkMeta> metas;
+  for (const Chunk& c : f.app.input_chunks) metas.push_back(c.meta());
+  DeclusterOptions opts;
+  opts.num_disks = 32;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decluster(metas, f.app.input_domain, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HilbertDecluster)->Arg(9000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

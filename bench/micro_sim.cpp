@@ -1,0 +1,80 @@
+// Microbenchmark: discrete-event engine throughput and hardware models.
+#include <benchmark/benchmark.h>
+
+#include "sim/cluster.hpp"
+#include "sim/resources.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace adr::sim;
+
+void BM_EventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulation sim;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      sim.schedule(i, []() {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventThroughput)->Arg(1000)->Arg(100000);
+
+void BM_ChainedEvents(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulation sim;
+    const int n = static_cast<int>(state.range(0));
+    int fired = 0;
+    std::function<void()> chain = [&]() {
+      if (++fired < n) sim.schedule(1, chain);
+    };
+    sim.schedule(1, chain);
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ChainedEvents)->Arg(10000);
+
+void BM_DiskRequests(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulation sim;
+    DiskModel disk(&sim, "d", DiskParams{});
+    for (int i = 0; i < 1000; ++i) {
+      disk.read(128 * 1024, []() {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(disk.bytes_read());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_DiskRequests);
+
+void BM_NetworkMessages(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulation sim;
+    NicModel a(&sim, "a", LinkParams{}), b(&sim, "b", LinkParams{});
+    for (int i = 0; i < 1000; ++i) {
+      a.send(b, 64 * 1024, []() {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(b.bytes_received());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_NetworkMessages);
+
+void BM_ClusterConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    SimCluster cluster(ibm_sp_profile(static_cast<int>(state.range(0))));
+    benchmark::DoNotOptimize(cluster.num_nodes());
+  }
+}
+BENCHMARK(BM_ClusterConstruction)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+#include "common/hilbert.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace adr {
+namespace {
+
+// Skilling's AxesToTranspose: converts in place from ordinary axes to the
+// "transposed" Hilbert representation (one bit of the index per axis word
+// per level).
+void axes_to_transpose(std::span<std::uint32_t> x, int bits) {
+  const int n = static_cast<int>(x.size());
+  std::uint32_t m = 1u << (bits - 1);
+  // Inverse undo.
+  for (std::uint32_t q = m; q > 1; q >>= 1) {
+    const std::uint32_t p = q - 1;
+    for (int i = 0; i < n; ++i) {
+      if (x[static_cast<size_t>(i)] & q) {
+        x[0] ^= p;  // invert
+      } else {
+        const std::uint32_t t = (x[0] ^ x[static_cast<size_t>(i)]) & p;
+        x[0] ^= t;
+        x[static_cast<size_t>(i)] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (int i = 1; i < n; ++i) x[static_cast<size_t>(i)] ^= x[static_cast<size_t>(i - 1)];
+  std::uint32_t t = 0;
+  for (std::uint32_t q = m; q > 1; q >>= 1) {
+    if (x[static_cast<size_t>(n - 1)] & q) t ^= q - 1;
+  }
+  for (int i = 0; i < n; ++i) x[static_cast<size_t>(i)] ^= t;
+}
+
+// Skilling's TransposeToAxes (inverse of the above).
+void transpose_to_axes(std::span<std::uint32_t> x, int bits) {
+  const int n = static_cast<int>(x.size());
+  const std::uint32_t m = 2u << (bits - 1);
+  // Gray decode by half.
+  std::uint32_t t = x[static_cast<size_t>(n - 1)] >> 1;
+  for (int i = n - 1; i > 0; --i) x[static_cast<size_t>(i)] ^= x[static_cast<size_t>(i - 1)];
+  x[0] ^= t;
+  // Undo excess work.
+  for (std::uint32_t q = 2; q != m; q <<= 1) {
+    const std::uint32_t p = q - 1;
+    for (int i = n - 1; i >= 0; --i) {
+      if (x[static_cast<size_t>(i)] & q) {
+        x[0] ^= p;
+      } else {
+        t = (x[0] ^ x[static_cast<size_t>(i)]) & p;
+        x[0] ^= t;
+        x[static_cast<size_t>(i)] ^= t;
+      }
+    }
+  }
+}
+
+// Interleaves the transposed representation into a single index: bit
+// (bits-1-b) of axis i becomes bit ((bits-1-b)*n + (n-1-i)) of the index.
+std::uint64_t interleave(std::span<const std::uint32_t> x, int bits) {
+  const int n = static_cast<int>(x.size());
+  std::uint64_t h = 0;
+  for (int b = bits - 1; b >= 0; --b) {
+    for (int i = 0; i < n; ++i) {
+      h = (h << 1) | ((x[static_cast<size_t>(i)] >> b) & 1u);
+    }
+  }
+  return h;
+}
+
+void deinterleave(std::uint64_t h, std::span<std::uint32_t> x, int bits) {
+  const int n = static_cast<int>(x.size());
+  std::fill(x.begin(), x.end(), 0u);
+  for (int b = 0; b < bits; ++b) {
+    for (int i = n - 1; i >= 0; --i) {
+      x[static_cast<size_t>(i)] |= static_cast<std::uint32_t>(h & 1u) << b;
+      h >>= 1;
+    }
+  }
+}
+
+}  // namespace
+
+int hilbert_max_bits(int dims) {
+  assert(dims >= 1);
+  return std::min(31, 64 / dims);
+}
+
+std::uint64_t hilbert_index(std::span<const std::uint32_t> axes, int bits) {
+  assert(!axes.empty());
+  assert(bits >= 1 && bits <= hilbert_max_bits(static_cast<int>(axes.size())));
+  if (axes.size() == 1) return axes[0];
+  std::vector<std::uint32_t> x(axes.begin(), axes.end());
+  axes_to_transpose(x, bits);
+  return interleave(x, bits);
+}
+
+std::vector<std::uint32_t> hilbert_axes(std::uint64_t index, int dims, int bits) {
+  assert(dims >= 1);
+  assert(bits >= 1 && bits <= hilbert_max_bits(dims));
+  if (dims == 1) return {static_cast<std::uint32_t>(index)};
+  std::vector<std::uint32_t> x(static_cast<size_t>(dims), 0u);
+  deinterleave(index, x, bits);
+  transpose_to_axes(x, bits);
+  return x;
+}
+
+std::uint64_t hilbert_index_in_domain(const Point& p, const Rect& domain, int bits) {
+  const int d = domain.dims();
+  assert(p.dims() == d);
+  const int b = std::min(bits, hilbert_max_bits(d));
+  const std::uint32_t cells = 1u << b;
+  std::vector<std::uint32_t> axes(static_cast<size_t>(d));
+  for (int i = 0; i < d; ++i) {
+    const double ext = domain.extent(i);
+    double frac = ext > 0.0 ? (p[i] - domain.lo()[i]) / ext : 0.0;
+    frac = std::clamp(frac, 0.0, 1.0);
+    auto cell = static_cast<std::uint32_t>(frac * cells);
+    axes[static_cast<size_t>(i)] = std::min(cell, cells - 1);
+  }
+  return hilbert_index(axes, b);
+}
+
+}  // namespace adr

@@ -1,0 +1,40 @@
+// d-dimensional Hilbert space-filling curve.
+//
+// The SC'99 ADR paper uses Hilbert curves in two places:
+//  * tiling: output chunks are ordered by the Hilbert index of the midpoint
+//    of their bounding box before being packed into tiles (paper section 3),
+//  * declustering: chunks are assigned to disks with a Hilbert-curve based
+//    declustering algorithm (Faloutsos & Bhagwat; paper section 4).
+//
+// The transform implemented here is John Skilling's "transpose" algorithm
+// (AIP Conf. Proc. 707, 2004), which converts between d-dimensional integer
+// axes and the Hilbert index in O(d * bits) time.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/geometry.hpp"
+
+namespace adr {
+
+/// Returns the Hilbert index of an integer point.
+///
+/// `axes[i]` must fit in `bits` bits; `dims * bits` must be <= 64 so the
+/// index fits in a uint64_t.  The index enumerates the cells of the
+/// `2^bits`-per-side grid along the Hilbert curve.
+std::uint64_t hilbert_index(std::span<const std::uint32_t> axes, int bits);
+
+/// Inverse of hilbert_index: recovers the axes of the cell at `index`.
+std::vector<std::uint32_t> hilbert_axes(std::uint64_t index, int dims, int bits);
+
+/// Maps a continuous point inside `domain` to a Hilbert index by quantizing
+/// each coordinate onto a 2^bits grid.  Points outside the domain are
+/// clamped.  Used to order chunk-MBR midpoints for tiling.
+std::uint64_t hilbert_index_in_domain(const Point& p, const Rect& domain, int bits);
+
+/// Maximum bits/dimension such that dims*bits fits in 64.
+int hilbert_max_bits(int dims);
+
+}  // namespace adr

@@ -1,0 +1,35 @@
+// Minimal leveled logger.
+//
+// The library is silent by default (benches and tests own stdout); set
+// ADR_LOG=debug|info|warn in the environment, or call set_log_level, to see
+// planner and executor traces.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace adr {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kOff = 3 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}  // namespace detail
+
+}  // namespace adr
+
+#define ADR_LOG(level, expr)                                      \
+  do {                                                            \
+    if (static_cast<int>(level) >= static_cast<int>(::adr::log_level())) { \
+      std::ostringstream adr_log_os;                              \
+      adr_log_os << expr;                                         \
+      ::adr::detail::log_line(level, adr_log_os.str());           \
+    }                                                             \
+  } while (0)
+
+#define ADR_DEBUG(expr) ADR_LOG(::adr::LogLevel::kDebug, expr)
+#define ADR_INFO(expr) ADR_LOG(::adr::LogLevel::kInfo, expr)
+#define ADR_WARN(expr) ADR_LOG(::adr::LogLevel::kWarn, expr)

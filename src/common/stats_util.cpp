@@ -1,0 +1,38 @@
+#include "common/stats_util.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace adr {
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.total = std::accumulate(values.begin(), values.end(), 0.0);
+  s.mean = s.total / static_cast<double>(values.size());
+  const auto [mn, mx] = std::minmax_element(values.begin(), values.end());
+  s.min = *mn;
+  s.max = *mx;
+  double sq = 0.0;
+  for (double v : values) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(sq / static_cast<double>(values.size()));
+  return s;
+}
+
+double imbalance(std::span<const double> values) {
+  const Summary s = summarize(values);
+  if (s.count == 0 || s.mean == 0.0) return 0.0;
+  return s.max / s.mean;
+}
+
+std::string Summary::to_string() const {
+  std::ostringstream os;
+  os << "n=" << count << " min=" << min << " max=" << max << " mean=" << mean
+     << " stddev=" << stddev << " total=" << total;
+  return os.str();
+}
+
+}  // namespace adr

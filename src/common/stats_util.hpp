@@ -1,0 +1,33 @@
+// Summary statistics over per-processor measurements.
+//
+// The paper reports per-processor communication volume and computation time
+// (its Figure 9); Summary collapses a per-node vector into the moments the
+// harness prints, and imbalance() is the load-imbalance metric (max/mean)
+// the paper invokes to explain DA's behaviour under skew.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace adr {
+
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double total = 0.0;
+
+  std::string to_string() const;
+};
+
+/// Computes the summary of a sample; empty input yields a zero summary.
+Summary summarize(std::span<const double> values);
+
+/// max/mean load-imbalance factor; 1.0 means perfectly balanced.
+/// Returns 0 for empty or all-zero samples.
+double imbalance(std::span<const double> values);
+
+}  // namespace adr

@@ -1,0 +1,91 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace adr {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row(const std::string& label, std::span<const double> values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(fmt(v, precision));
+  add_row(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << std::setw(static_cast<int>(widths[c]))
+         << (c == 0 ? std::left : std::right) << row[c];
+      os << (c == 0 ? "" : "");
+      os.unsetf(std::ios::adjustfield);
+    }
+    os << " |\n";
+  };
+  emit_row(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << to_string(); }
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string fmt_bytes(double bytes) {
+  const char* unit = "B";
+  double v = bytes;
+  if (v >= 1e9) {
+    v /= 1e9;
+    unit = "GB";
+  } else if (v >= 1e6) {
+    v /= 1e6;
+    unit = "MB";
+  } else if (v >= 1e3) {
+    v /= 1e3;
+    unit = "KB";
+  }
+  return fmt(v, 2) + " " + unit;
+}
+
+std::string sparkline(std::span<const double> values) {
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (values.empty()) return "";
+  const auto [mn, mx] = std::minmax_element(values.begin(), values.end());
+  const double lo = *mn, hi = *mx;
+  std::string out;
+  for (double v : values) {
+    int level = 0;
+    if (hi > lo) level = static_cast<int>((v - lo) / (hi - lo) * 7.0 + 0.5);
+    out += kLevels[std::clamp(level, 0, 7)];
+  }
+  return out;
+}
+
+}  // namespace adr

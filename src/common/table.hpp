@@ -1,0 +1,44 @@
+// ASCII table rendering for the benchmark harness.
+//
+// Every bench binary prints its results in the same row/column layout the
+// paper's tables and figure series use, so this provides a small aligned
+// table builder plus a one-line ASCII sparkline for eyeballing trends.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace adr {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats each double with the given precision.
+  void add_row(const std::string& label, std::span<const double> values, int precision = 2);
+
+  std::string to_string() const;
+  void print(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision.
+std::string fmt(double v, int precision = 2);
+
+/// Formats a byte count as B / KB / MB / GB with two decimals.
+std::string fmt_bytes(double bytes);
+
+/// Renders values as a unicode sparkline (▁▂▃▄▅▆▇█), scaled to min..max.
+std::string sparkline(std::span<const double> values);
+
+}  // namespace adr

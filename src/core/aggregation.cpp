@@ -1,0 +1,157 @@
+#include "core/aggregation.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace adr {
+namespace {
+
+struct SumCountMax {
+  std::uint64_t sum = 0;
+  std::uint64_t count = 0;
+  std::uint64_t max = 0;
+};
+
+SumCountMax* as_scm(std::vector<std::byte>& accum) {
+  return reinterpret_cast<SumCountMax*>(accum.data());
+}
+
+const SumCountMax* as_scm(const std::vector<std::byte>& accum) {
+  return reinterpret_cast<const SumCountMax*>(accum.data());
+}
+
+}  // namespace
+
+std::vector<std::byte> SumCountMaxOp::initialize(const ChunkMeta& out_meta,
+                                                 const Chunk* existing) const {
+  (void)out_meta;
+  (void)existing;
+  std::vector<std::byte> accum(sizeof(SumCountMax));
+  *as_scm(accum) = SumCountMax{};
+  return accum;
+}
+
+void SumCountMaxOp::aggregate(const Chunk& input, const ChunkMeta& out_meta,
+                              std::vector<std::byte>& accum) const {
+  (void)out_meta;
+  assert(accum.size() >= sizeof(SumCountMax));
+  SumCountMax* a = as_scm(accum);
+  for (std::uint64_t v : input.as<std::uint64_t>()) {
+    a->sum += v;
+    a->count += 1;
+    a->max = std::max(a->max, v);
+  }
+}
+
+void SumCountMaxOp::combine(std::vector<std::byte>& dst,
+                            const std::vector<std::byte>& src) const {
+  assert(dst.size() >= sizeof(SumCountMax) && src.size() >= sizeof(SumCountMax));
+  SumCountMax* d = as_scm(dst);
+  const SumCountMax* s = as_scm(src);
+  d->sum += s->sum;
+  d->count += s->count;
+  d->max = std::max(d->max, s->max);
+}
+
+std::vector<std::byte> SumCountMaxOp::output(const ChunkMeta& out_meta,
+                                             const std::vector<std::byte>& accum) const {
+  (void)out_meta;
+  // The final product is the accumulator triple itself.
+  return accum;
+}
+
+std::vector<std::byte> CountOp::initialize(const ChunkMeta&, const Chunk*) const {
+  return std::vector<std::byte>(sizeof(std::uint64_t), std::byte{0});
+}
+
+void CountOp::aggregate(const Chunk& input, const ChunkMeta&,
+                        std::vector<std::byte>& accum) const {
+  assert(accum.size() >= sizeof(std::uint64_t));
+  *reinterpret_cast<std::uint64_t*>(accum.data()) += input.as<std::uint64_t>().size();
+}
+
+void CountOp::combine(std::vector<std::byte>& dst,
+                      const std::vector<std::byte>& src) const {
+  *reinterpret_cast<std::uint64_t*>(dst.data()) +=
+      *reinterpret_cast<const std::uint64_t*>(src.data());
+}
+
+std::vector<std::byte> CountOp::output(const ChunkMeta&,
+                                       const std::vector<std::byte>& accum) const {
+  return accum;
+}
+
+HistogramOp::HistogramOp(int buckets, std::uint64_t lo, std::uint64_t hi)
+    : buckets_(buckets), lo_(lo), hi_(hi) {
+  assert(buckets_ >= 1);
+  assert(hi_ > lo_);
+}
+
+int HistogramOp::bucket_of(std::uint64_t value) const {
+  if (value <= lo_) return 0;
+  if (value >= hi_) return buckets_ - 1;
+  const std::uint64_t width = (hi_ - lo_ + buckets_ - 1) / buckets_;
+  return std::min(buckets_ - 1, static_cast<int>((value - lo_) / width));
+}
+
+std::vector<std::byte> HistogramOp::initialize(const ChunkMeta&, const Chunk*) const {
+  return std::vector<std::byte>(static_cast<size_t>(buckets_) * sizeof(std::uint64_t),
+                                std::byte{0});
+}
+
+void HistogramOp::aggregate(const Chunk& input, const ChunkMeta&,
+                            std::vector<std::byte>& accum) const {
+  auto counts = std::span<std::uint64_t>(
+      reinterpret_cast<std::uint64_t*>(accum.data()), accum.size() / sizeof(std::uint64_t));
+  for (std::uint64_t v : input.as<std::uint64_t>()) {
+    counts[static_cast<size_t>(bucket_of(v))] += 1;
+  }
+}
+
+void HistogramOp::combine(std::vector<std::byte>& dst,
+                          const std::vector<std::byte>& src) const {
+  auto d = std::span<std::uint64_t>(reinterpret_cast<std::uint64_t*>(dst.data()),
+                                    dst.size() / sizeof(std::uint64_t));
+  auto s = std::span<const std::uint64_t>(
+      reinterpret_cast<const std::uint64_t*>(src.data()),
+      src.size() / sizeof(std::uint64_t));
+  for (std::size_t i = 0; i < d.size() && i < s.size(); ++i) d[i] += s[i];
+}
+
+std::vector<std::byte> HistogramOp::output(const ChunkMeta&,
+                                           const std::vector<std::byte>& accum) const {
+  return accum;
+}
+
+AggregationService::AggregationService() {
+  register_op(std::make_shared<SumCountMaxOp>());
+  register_op(std::make_shared<CountOp>());
+  register_op(std::make_shared<HistogramOp>(16, 0, 1000));
+}
+
+void AggregationService::register_op(std::shared_ptr<AggregationOp> op) {
+  assert(op != nullptr);
+  const std::string name = op->name();
+  ops_[name] = std::move(op);
+}
+
+const AggregationOp* AggregationService::find(const std::string& name) const {
+  auto it = ops_.find(name);
+  return it == ops_.end() ? nullptr : it->second.get();
+}
+
+std::shared_ptr<AggregationOp> AggregationService::find_shared(
+    const std::string& name) const {
+  auto it = ops_.find(name);
+  return it == ops_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> AggregationService::op_names() const {
+  std::vector<std::string> names;
+  names.reserve(ops_.size());
+  for (const auto& [name, op] : ops_) names.push_back(name);
+  return names;
+}
+
+}  // namespace adr

@@ -1,0 +1,135 @@
+// Data aggregation service.
+//
+// Manages the user-provided Initialize / Aggregate / Output functions and
+// the accumulator data type (paper section 2.1).  Aggregate must be
+// associative and commutative (the distributive/algebraic class of Gray et
+// al.), which is what lets the planner replicate accumulator chunks and
+// merge them in any grouping: the Combine hook merges two partial
+// accumulators and is the paper's global-combine step.
+//
+// Operations work on chunk payloads (raw bytes); the built-in operations
+// use exact integer arithmetic so that every query strategy produces
+// bit-identical results (floating-point sums are not associative).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/chunk.hpp"
+
+namespace adr {
+
+/// Describes accumulator sizing for planning: an accumulator chunk for an
+/// output chunk of `b` bytes occupies `b * size_multiplier` bytes (e.g. a
+/// running sum + count per pixel doubles the footprint).
+struct AccumulatorLayout {
+  double size_multiplier = 1.0;
+};
+
+class AggregationOp {
+ public:
+  virtual ~AggregationOp() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual AccumulatorLayout layout() const { return {}; }
+
+  /// True if Initialize needs the existing output chunk contents (forces
+  /// the initialization-phase read + ghost broadcast of paper Fig. 7).
+  virtual bool requires_existing_output() const { return false; }
+
+  /// Creates the accumulator payload for one output chunk.  `existing` is
+  /// the current output chunk when requires_existing_output(), else null.
+  virtual std::vector<std::byte> initialize(const ChunkMeta& out_meta,
+                                            const Chunk* existing) const = 0;
+
+  /// Aggregates one input chunk into an accumulator (the reduction step).
+  virtual void aggregate(const Chunk& input, const ChunkMeta& out_meta,
+                         std::vector<std::byte>& accum) const = 0;
+
+  /// Merges a partial accumulator (ghost) into `dst` (global combine).
+  virtual void combine(std::vector<std::byte>& dst,
+                       const std::vector<std::byte>& src) const = 0;
+
+  /// Produces the final output chunk payload from an accumulator.
+  virtual std::vector<std::byte> output(const ChunkMeta& out_meta,
+                                        const std::vector<std::byte>& accum) const = 0;
+};
+
+/// Built-in: treats input payloads as uint64 arrays and accumulates
+/// [sum, count, max] triples.  Exact and fully order-independent.
+class SumCountMaxOp : public AggregationOp {
+ public:
+  std::string name() const override { return "sum-count-max"; }
+  AccumulatorLayout layout() const override { return {3.0}; }
+  std::vector<std::byte> initialize(const ChunkMeta& out_meta,
+                                    const Chunk* existing) const override;
+  void aggregate(const Chunk& input, const ChunkMeta& out_meta,
+                 std::vector<std::byte>& accum) const override;
+  void combine(std::vector<std::byte>& dst,
+               const std::vector<std::byte>& src) const override;
+  std::vector<std::byte> output(const ChunkMeta& out_meta,
+                                const std::vector<std::byte>& accum) const override;
+};
+
+/// Built-in: counts items per output chunk (accumulator = one uint64).
+class CountOp : public AggregationOp {
+ public:
+  std::string name() const override { return "count"; }
+  AccumulatorLayout layout() const override { return {1.0}; }
+  std::vector<std::byte> initialize(const ChunkMeta& out_meta,
+                                    const Chunk* existing) const override;
+  void aggregate(const Chunk& input, const ChunkMeta& out_meta,
+                 std::vector<std::byte>& accum) const override;
+  void combine(std::vector<std::byte>& dst,
+               const std::vector<std::byte>& src) const override;
+  std::vector<std::byte> output(const ChunkMeta& out_meta,
+                                const std::vector<std::byte>& accum) const override;
+};
+
+/// Built-in: an exact histogram of uint64 input values over fixed-width
+/// buckets in [lo, hi); values outside clamp to the edge buckets.
+/// Registered as "histogram" with 16 buckets over [0, 1000).
+class HistogramOp : public AggregationOp {
+ public:
+  HistogramOp(int buckets, std::uint64_t lo, std::uint64_t hi);
+  std::string name() const override { return "histogram"; }
+  AccumulatorLayout layout() const override {
+    return {static_cast<double>(buckets_)};
+  }
+  std::vector<std::byte> initialize(const ChunkMeta& out_meta,
+                                    const Chunk* existing) const override;
+  void aggregate(const Chunk& input, const ChunkMeta& out_meta,
+                 std::vector<std::byte>& accum) const override;
+  void combine(std::vector<std::byte>& dst,
+               const std::vector<std::byte>& src) const override;
+  std::vector<std::byte> output(const ChunkMeta& out_meta,
+                                const std::vector<std::byte>& accum) const override;
+
+  int buckets() const { return buckets_; }
+  int bucket_of(std::uint64_t value) const;
+
+ private:
+  int buckets_;
+  std::uint64_t lo_;
+  std::uint64_t hi_;
+};
+
+/// Registry (the service facade).
+class AggregationService {
+ public:
+  AggregationService();
+
+  void register_op(std::shared_ptr<AggregationOp> op);
+  const AggregationOp* find(const std::string& name) const;
+  std::shared_ptr<AggregationOp> find_shared(const std::string& name) const;
+  std::vector<std::string> op_names() const;
+
+ private:
+  std::unordered_map<std::string, std::shared_ptr<AggregationOp>> ops_;
+};
+
+}  // namespace adr

@@ -1,0 +1,80 @@
+#include "core/attribute_space.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace adr {
+
+Rect IdentityMap::project(const Rect& input_region) const {
+  const int keep = output_dims_ > 0 ? output_dims_ : input_region.dims();
+  assert(keep <= input_region.dims());
+  Point lo(keep), hi(keep);
+  for (int i = 0; i < keep; ++i) {
+    lo[i] = input_region.lo()[i];
+    hi[i] = input_region.hi()[i];
+  }
+  return Rect(lo, hi);
+}
+
+AffineMap::AffineMap(std::vector<double> scale, std::vector<double> offset,
+                     int output_dims, std::vector<double> spread)
+    : scale_(std::move(scale)),
+      offset_(std::move(offset)),
+      output_dims_(output_dims),
+      spread_(std::move(spread)) {
+  if (scale_.size() != offset_.size()) {
+    throw std::invalid_argument("AffineMap: scale/offset size mismatch");
+  }
+  if (output_dims_ < 1 || output_dims_ > static_cast<int>(scale_.size())) {
+    throw std::invalid_argument("AffineMap: bad output_dims");
+  }
+  if (!spread_.empty() && spread_.size() != static_cast<std::size_t>(output_dims_)) {
+    throw std::invalid_argument("AffineMap: spread size mismatch");
+  }
+}
+
+Rect AffineMap::project(const Rect& input_region) const {
+  assert(input_region.dims() >= output_dims_);
+  Point lo(output_dims_), hi(output_dims_);
+  for (int i = 0; i < output_dims_; ++i) {
+    const double a = scale_[static_cast<std::size_t>(i)] * input_region.lo()[i] +
+                     offset_[static_cast<std::size_t>(i)];
+    const double b = scale_[static_cast<std::size_t>(i)] * input_region.hi()[i] +
+                     offset_[static_cast<std::size_t>(i)];
+    lo[i] = std::min(a, b);
+    hi[i] = std::max(a, b);
+  }
+  Rect out(lo, hi);
+  if (!spread_.empty()) out = out.inflated(spread_);
+  return out;
+}
+
+void AttributeSpaceService::register_space(AttributeSpace space) {
+  const std::string name = space.name;
+  spaces_[name] = std::move(space);
+}
+
+const AttributeSpace* AttributeSpaceService::find_space(const std::string& name) const {
+  auto it = spaces_.find(name);
+  return it == spaces_.end() ? nullptr : &it->second;
+}
+
+void AttributeSpaceService::register_map(std::shared_ptr<MapFunction> map) {
+  assert(map != nullptr);
+  const std::string name = map->name();
+  maps_[name] = std::move(map);
+}
+
+const MapFunction* AttributeSpaceService::find_map(const std::string& name) const {
+  auto it = maps_.find(name);
+  return it == maps_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> AttributeSpaceService::space_names() const {
+  std::vector<std::string> names;
+  names.reserve(spaces_.size());
+  for (const auto& [name, space] : spaces_) names.push_back(name);
+  return names;
+}
+
+}  // namespace adr

@@ -1,0 +1,97 @@
+#include "core/exec/exec_stats.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace adr {
+
+const char* phase_name(int phase) {
+  switch (phase) {
+    case 0:
+      return "Initialization";
+    case 1:
+      return "Local Reduction";
+    case 2:
+      return "Global Combine";
+    case 3:
+      return "Output Handling";
+    default:
+      return "?";
+  }
+}
+
+std::uint64_t ExecStats::total_bytes_sent() const {
+  std::uint64_t total = 0;
+  for (const NodeStats& n : nodes) total += n.bytes_sent;
+  return total;
+}
+
+std::uint64_t ExecStats::total_bytes_read() const {
+  std::uint64_t total = 0;
+  for (const NodeStats& n : nodes) total += n.bytes_read;
+  return total;
+}
+
+std::uint64_t ExecStats::total_lr_pairs() const {
+  std::uint64_t total = 0;
+  for (const NodeStats& n : nodes) total += n.lr_pairs;
+  return total;
+}
+
+Summary ExecStats::comm_volume() const {
+  std::vector<double> v;
+  v.reserve(nodes.size());
+  for (const NodeStats& n : nodes) v.push_back(static_cast<double>(n.bytes_sent));
+  return summarize(v);
+}
+
+Summary ExecStats::compute_time() const {
+  std::vector<double> v;
+  v.reserve(nodes.size());
+  for (const NodeStats& n : nodes) v.push_back(n.compute_total_s());
+  return summarize(v);
+}
+
+std::string render_gantt(const ExecStats& stats, int width) {
+  if (stats.trace.empty() || stats.total_s <= 0.0 || width < 8) return "";
+  static const char kGlyph[4] = {'I', 'L', 'G', 'O'};
+  std::ostringstream os;
+  os << "time 0 .. " << stats.total_s << " s  (I=init L=local-reduction "
+     << "G=global-combine O=output, .=waiting)\n";
+  const double scale = static_cast<double>(width) / stats.total_s;
+  for (std::size_t n = 0; n < stats.nodes.size(); ++n) {
+    std::string row(static_cast<size_t>(width), '.');
+    for (const PhaseSpan& span : stats.trace) {
+      if (static_cast<std::size_t>(span.node) != n) continue;
+      int a = static_cast<int>(span.start_s * scale);
+      int b = static_cast<int>(span.end_s * scale);
+      a = std::clamp(a, 0, width - 1);
+      b = std::clamp(b, a, width - 1);
+      for (int c = a; c <= b; ++c) {
+        row[static_cast<size_t>(c)] = kGlyph[span.phase & 3];
+      }
+    }
+    os << "node " << (n < 10 ? " " : "") << n << " |" << row << "|\n";
+  }
+  return os.str();
+}
+
+void trace_to_csv(const ExecStats& stats, std::ostream& os) {
+  os << "node,tile,phase,start_s,end_s\n";
+  for (const PhaseSpan& span : stats.trace) {
+    os << span.node << ',' << span.tile << ',' << phase_name(span.phase) << ','
+       << span.start_s << ',' << span.end_s << '\n';
+  }
+}
+
+std::string ExecStats::summary() const {
+  std::ostringstream os;
+  os << "total=" << total_s << "s tiles=" << tiles << " phases(init/lr/gc/oh)="
+     << phase_init_s << '/' << phase_lr_s << '/' << phase_gc_s << '/' << phase_oh_s
+     << " read=" << total_bytes_read() << "B sent=" << total_bytes_sent()
+     << "B pairs=" << total_lr_pairs();
+  return os.str();
+}
+
+}  // namespace adr

@@ -1,0 +1,227 @@
+#include "core/frontend.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <mutex>
+#include <stdexcept>
+
+#include "common/logging.hpp"
+#include "runtime/sim_executor.hpp"
+#include "runtime/thread_executor.hpp"
+#include "storage/catalog.hpp"
+#include "storage/loader.hpp"
+
+namespace adr {
+
+Repository::Repository(const RepositoryConfig& config) : config_(config) {
+  if (config_.num_nodes < 1 || config_.disks_per_node < 1) {
+    throw std::invalid_argument("Repository: bad machine shape");
+  }
+  if (config_.storage_dir.empty()) {
+    store_ = std::make_unique<MemoryChunkStore>(config_.total_disks());
+  } else {
+    store_ = std::make_unique<FileChunkStore>(
+        config_.storage_dir, config_.total_disks(), config_.open_existing);
+  }
+}
+
+std::uint32_t Repository::create_dataset(const std::string& name, const Rect& domain,
+                                         std::vector<Chunk> chunks,
+                                         DeclusterMethod method) {
+  const std::uint32_t id = next_dataset_id_++;
+  LoadOptions options;
+  options.decluster.method = method;
+  options.decluster.num_disks = config_.total_disks();
+  options.store_payloads = config_.store_payloads;
+  Dataset ds = load_dataset(id, name, domain, std::move(chunks), *store_, options);
+  if (config_.index != "rtree") {
+    ds.build_index(indices_.create(config_.index));
+  }
+  ADR_INFO("loaded dataset '" << name << "' id=" << id << " chunks=" << ds.num_chunks()
+                              << " bytes=" << ds.total_bytes() << " index="
+                              << ds.index()->name());
+  datasets_.emplace(id, std::move(ds));
+  return id;
+}
+
+const Dataset& Repository::dataset(std::uint32_t id) const {
+  auto it = datasets_.find(id);
+  if (it == datasets_.end()) throw std::out_of_range("Repository: unknown dataset");
+  return it->second;
+}
+
+const Dataset* Repository::find_dataset(const std::string& name) const {
+  for (const auto& [id, ds] : datasets_) {
+    if (ds.name() == name) return &ds;
+  }
+  return nullptr;
+}
+
+QueryResult Repository::submit(const Query& query, const ComputeCosts& costs,
+                               const ExecOptions& exec_options) {
+  const Dataset& input = dataset(query.input_dataset);
+  const Dataset& output = dataset(query.output_dataset);
+  std::vector<const Dataset*> all_inputs = {&input};
+  for (std::uint32_t id : query.extra_input_datasets) {
+    all_inputs.push_back(&dataset(id));
+  }
+
+  const MapFunction* map = nullptr;
+  if (!query.map_function.empty()) {
+    map = spaces_.find_map(query.map_function);
+    if (map == nullptr) {
+      throw std::invalid_argument("submit: unknown map function " + query.map_function);
+    }
+  }
+  const AggregationOp* op = nullptr;
+  if (!query.aggregation.empty()) {
+    op = aggregations_.find(query.aggregation);
+    if (op == nullptr) {
+      throw std::invalid_argument("submit: unknown aggregation " + query.aggregation);
+    }
+  }
+
+  PlanRequest request;
+  request.input = &input;
+  request.extra_inputs.assign(all_inputs.begin() + 1, all_inputs.end());
+  request.output = &output;
+  request.range = query.range;
+  request.map = map;
+  request.op = op;
+  request.num_nodes = config_.num_nodes;
+  request.disks_per_node = config_.disks_per_node;
+  request.memory_per_node = config_.memory_per_node;
+  request.strategy = query.strategy;
+  request.order = query.tiling_order;
+  request.seed = query.seed;
+  request.costs = costs;
+  request.machine.disk_seek_s = sim::to_seconds(config_.machine.disk.seek);
+  request.machine.disk_bw_bytes_per_s = config_.machine.disk.bandwidth_bytes_per_sec;
+  request.machine.net_latency_s = sim::to_seconds(config_.machine.link.latency);
+  request.machine.net_bw_bytes_per_s = config_.machine.link.bandwidth_bytes_per_sec;
+  request.machine.comm_cpu_bytes_per_s = config_.machine.link.cpu_overhead_bytes_per_sec;
+  request.machine.disks_per_node = config_.disks_per_node;
+
+  PlannedQuery planned = plan_query(request);
+
+  ExecOptions options = exec_options;
+  if (config_.backend == RepositoryConfig::Backend::kSimulated &&
+      options.comm_cpu_bytes_per_sec == 0.0) {
+    options.comm_cpu_bytes_per_sec = config_.machine.link.cpu_overhead_bytes_per_sec;
+  }
+
+  // Output delivery: write back, return to the client, or discard.
+  std::mutex sink_mutex;
+  std::vector<Chunk> delivered;
+  const OutputDelivery delivery =
+      query.write_output ? query.delivery : OutputDelivery::kDiscard;
+  switch (delivery) {
+    case OutputDelivery::kWriteBack:
+      options.write_output = options.write_output && true;
+      break;
+    case OutputDelivery::kReturnToClient:
+      options.write_output = false;
+      options.output_sink = [&sink_mutex, &delivered](Chunk&& chunk) {
+        std::lock_guard<std::mutex> lock(sink_mutex);
+        delivered.push_back(std::move(chunk));
+      };
+      break;
+    case OutputDelivery::kDiscard:
+      options.write_output = false;
+      break;
+  }
+
+  QueryResult result;
+  result.strategy = planned.chosen;
+  result.tiles = planned.plan.num_tiles;
+  result.ghost_chunks = planned.plan.total_ghost_chunks;
+  result.chunk_reads = planned.plan.total_reads;
+  result.estimates = planned.estimates;
+
+  if (config_.backend == RepositoryConfig::Backend::kSimulated) {
+    sim::ClusterConfig machine = config_.machine;
+    machine.num_nodes = config_.num_nodes;
+    machine.disks_per_node = config_.disks_per_node;
+    machine.accumulator_memory_bytes = config_.memory_per_node;
+    sim::SimCluster cluster(machine);
+    SimExecutor executor(&cluster, config_.store_payloads ? store_.get() : nullptr);
+    result.stats = execute_query(executor, planned, all_inputs, output, op, costs,
+                                 config_.disks_per_node, options);
+  } else {
+    ThreadExecutor executor(config_.num_nodes, config_.disks_per_node, store_.get());
+    result.stats = execute_query(executor, planned, all_inputs, output, op, costs,
+                                 config_.disks_per_node, options);
+  }
+
+  if (!delivered.empty()) {
+    std::sort(delivered.begin(), delivered.end(),
+              [](const Chunk& a, const Chunk& b) { return a.meta().id < b.meta().id; });
+    result.outputs = std::move(delivered);
+  }
+  return result;
+}
+
+std::vector<QueryResult> Repository::submit_all(const std::vector<Query>& queries,
+                                                const ComputeCosts& costs,
+                                                const ExecOptions& exec_options) {
+  std::vector<QueryResult> results;
+  results.reserve(queries.size());
+  for (const Query& q : queries) results.push_back(submit(q, costs, exec_options));
+  return results;
+}
+
+std::uint64_t QuerySubmissionService::enqueue(Query query, ComputeCosts costs) {
+  const std::uint64_t ticket = next_ticket_++;
+  queue_.push_back(Pending{ticket, std::move(query), costs});
+  return ticket;
+}
+
+std::size_t QuerySubmissionService::process_all() {
+  std::size_t ran = 0;
+  for (Pending& p : queue_) {
+    results_[p.ticket] = repository_->submit(p.query, p.costs);
+    ++ran;
+  }
+  queue_.clear();
+  return ran;
+}
+
+const QueryResult* QuerySubmissionService::result(std::uint64_t ticket) const {
+  auto it = results_.find(ticket);
+  return it == results_.end() ? nullptr : &it->second;
+}
+
+std::optional<Chunk> Repository::read_chunk(std::uint32_t dataset_id,
+                                            std::uint32_t index) const {
+  const Dataset& ds = dataset(dataset_id);
+  const ChunkMeta& meta = ds.chunk(index);
+  return store_->get(meta.disk, meta.id);
+}
+
+void Repository::save_catalog(const std::filesystem::path& path) const {
+  std::vector<const Dataset*> all;
+  all.reserve(datasets_.size());
+  for (const auto& [id, ds] : datasets_) all.push_back(&ds);
+  save_catalog_file(path, all);
+}
+
+std::size_t Repository::load_catalog(const std::filesystem::path& path) {
+  std::vector<Dataset> loaded = load_catalog_file(path);
+  std::size_t registered = 0;
+  for (Dataset& ds : loaded) {
+    for (const ChunkMeta& c : ds.chunks()) {
+      if (c.disk < 0 || c.disk >= config_.total_disks()) {
+        throw std::invalid_argument("load_catalog: dataset '" + ds.name() +
+                                    "' was declustered over a different farm");
+      }
+    }
+    const std::uint32_t id = ds.id();
+    next_dataset_id_ = std::max(next_dataset_id_, id + 1);
+    if (config_.index != "rtree") ds.build_index(indices_.create(config_.index));
+    datasets_.insert_or_assign(id, std::move(ds));
+    ++registered;
+  }
+  return registered;
+}
+
+}  // namespace adr

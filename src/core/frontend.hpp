@@ -1,0 +1,171 @@
+// ADR front end: the public API tying the services together.
+//
+// Mirrors the paper's architecture (its Figure 2): a front-end process
+// owns the attribute-space, dataset, indexing and aggregation services,
+// accepts range queries through the query interface service, plans them
+// with the query planning service and executes them on the parallel
+// back-end — here either the simulated IBM SP (virtual time) or the
+// thread-backed in-process cluster (real payloads).
+//
+// Typical use:
+//
+//   adr::RepositoryConfig cfg;
+//   cfg.num_nodes = 8;
+//   adr::Repository repo(cfg);
+//   std::uint32_t in  = repo.create_dataset("sensors", domain, chunks);
+//   std::uint32_t out = repo.create_dataset("image", out_domain, out_chunks);
+//   adr::Query q;
+//   q.input_dataset = in; q.output_dataset = out;
+//   q.range = ...; q.aggregation = "sum-count-max";
+//   q.strategy = adr::StrategyKind::kAuto;
+//   adr::QueryResult r = repo.submit(q);
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/aggregation.hpp"
+#include "core/attribute_space.hpp"
+#include "core/exec/exec_stats.hpp"
+#include "core/exec/query_executor.hpp"
+#include "core/planner/planner.hpp"
+#include "core/query.hpp"
+#include "sim/cluster.hpp"
+#include "storage/dataset.hpp"
+#include "storage/decluster.hpp"
+#include "storage/disk_store.hpp"
+
+namespace adr {
+
+struct RepositoryConfig {
+  enum class Backend {
+    kSimulated,  // virtual time on the modelled cluster
+    kThreads,    // real threads, wall time
+  };
+  Backend backend = Backend::kThreads;
+
+  int num_nodes = 4;
+  int disks_per_node = 1;
+  /// Per-node memory budget for accumulator chunks (drives tiling).
+  std::uint64_t memory_per_node = 32ull * 1024 * 1024;
+  /// Hardware model for the simulated backend (nodes/disks fields are
+  /// overridden by the values above).
+  sim::ClusterConfig machine = sim::ibm_sp_profile(4);
+  /// Keep chunk payloads in the store (false = metadata-only).
+  bool store_payloads = true;
+  /// Index built over each dataset's chunk MBRs ("rtree", "grid", or a
+  /// name registered with Repository::indices()).
+  std::string index = "rtree";
+  /// Non-empty: back the disk farm with files under this directory
+  /// (FileChunkStore) instead of memory.
+  std::filesystem::path storage_dir;
+  /// Reattach to an existing file-backed farm instead of truncating it
+  /// (pair with load_catalog() to restore the dataset metadata).
+  bool open_existing = false;
+
+  int total_disks() const { return num_nodes * disks_per_node; }
+};
+
+struct QueryResult {
+  StrategyKind strategy = StrategyKind::kFRA;
+  int tiles = 0;
+  std::uint64_t ghost_chunks = 0;
+  std::uint64_t chunk_reads = 0;
+  ExecStats stats;
+  /// Cost estimates per strategy when the query used kAuto.
+  std::vector<std::pair<StrategyKind, CostEstimate>> estimates;
+  /// Finalized output chunks, for OutputDelivery::kReturnToClient
+  /// (sorted by chunk id).
+  std::vector<Chunk> outputs;
+};
+
+class Repository {
+ public:
+  explicit Repository(const RepositoryConfig& config);
+
+  const RepositoryConfig& config() const { return config_; }
+
+  AttributeSpaceService& attribute_spaces() { return spaces_; }
+  AggregationService& aggregations() { return aggregations_; }
+  IndexRegistry& indices() { return indices_; }
+  ChunkStore& store() { return *store_; }
+
+  /// Loads a dataset (paper's four-step load) and returns its id.
+  std::uint32_t create_dataset(const std::string& name, const Rect& domain,
+                               std::vector<Chunk> chunks,
+                               DeclusterMethod method = DeclusterMethod::kHilbert);
+
+  const Dataset& dataset(std::uint32_t id) const;
+  const Dataset* find_dataset(const std::string& name) const;
+  std::size_t num_datasets() const { return datasets_.size(); }
+
+  /// Plans and executes a range query on the back-end.
+  /// `costs` are the per-chunk compute charges for the simulated backend.
+  QueryResult submit(const Query& query, const ComputeCosts& costs = {},
+                     const ExecOptions& exec_options = {});
+
+  /// Plans and executes a batch of queries in submission order on the
+  /// back-end (the paper's planning service handles "a set of queries").
+  std::vector<QueryResult> submit_all(const std::vector<Query>& queries,
+                                      const ComputeCosts& costs = {},
+                                      const ExecOptions& exec_options = {});
+
+  /// Convenience: reads one chunk of a dataset back from the disk farm.
+  std::optional<Chunk> read_chunk(std::uint32_t dataset_id, std::uint32_t index) const;
+
+  /// Persists all dataset metadata to a catalog file (payloads live in
+  /// the file-backed farm when storage_dir is set).
+  void save_catalog(const std::filesystem::path& path) const;
+
+  /// Restores datasets from a catalog written by save_catalog(); returns
+  /// how many were registered.  Placements must fit this farm.
+  std::size_t load_catalog(const std::filesystem::path& path);
+
+ private:
+  RepositoryConfig config_;
+  std::unique_ptr<ChunkStore> store_;
+  AttributeSpaceService spaces_;
+  AggregationService aggregations_;
+  IndexRegistry indices_;
+  std::map<std::uint32_t, Dataset> datasets_;
+  std::uint32_t next_dataset_id_ = 0;
+};
+
+/// Query submission service (paper Fig. 2): clients enqueue queries
+/// through the front end and collect results by ticket.  Queries are
+/// executed in FIFO order when process_all() runs (one back-end, one
+/// query at a time, matching ADR's single parallel back-end).
+class QuerySubmissionService {
+ public:
+  explicit QuerySubmissionService(Repository& repository)
+      : repository_(&repository) {}
+
+  /// Enqueues a query; the returned ticket retrieves its result later.
+  std::uint64_t enqueue(Query query, ComputeCosts costs = {});
+
+  /// Runs every pending query in FIFO order; returns how many ran.
+  std::size_t process_all();
+
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Result for a ticket, or nullptr if unknown / not yet processed.
+  const QueryResult* result(std::uint64_t ticket) const;
+
+ private:
+  struct Pending {
+    std::uint64_t ticket;
+    Query query;
+    ComputeCosts costs;
+  };
+  Repository* repository_;
+  std::vector<Pending> queue_;
+  std::map<std::uint64_t, QueryResult> results_;
+  std::uint64_t next_ticket_ = 1;
+};
+
+}  // namespace adr

@@ -1,0 +1,65 @@
+// Distributed Accumulator strategy — paper Figure 6.
+//
+// Accumulator chunks are never replicated: each lives only on its owner,
+// and tile counters advance per processor (a processor starts a new tile
+// only when *its own* accumulator budget fills).  The global tile count is
+// the maximum over processors; nodes step tiles in lockstep and processors
+// whose chunks ran out simply have empty tiles at the tail.
+//
+// Remote input chunks are forwarded to the accumulator owner during local
+// reduction — populate_plan() derives those message counts from the empty
+// ghost-host sets.
+#include "core/planner/strategy.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.hpp"
+
+namespace adr {
+
+QueryPlan plan_da(const PlannerInput& in) {
+  assert(in.valid());
+  const std::size_t num_outputs = in.owner_of_output.size();
+
+  QueryPlan plan;
+  plan.strategy = StrategyKind::kDA;
+  plan.num_nodes = in.num_nodes;
+  plan.owner_of_output = in.owner_of_output;
+  plan.tile_of_output.assign(num_outputs, 0);
+  plan.ghost_hosts.assign(num_outputs, {});  // DA: no ghosts anywhere
+  plan.node_tiles.assign(static_cast<size_t>(in.num_nodes), {});
+
+  std::vector<std::uint64_t> memory(static_cast<size_t>(in.num_nodes),
+                                    in.memory_per_node);
+  std::vector<int> tile(static_cast<size_t>(in.num_nodes), 0);
+  std::vector<bool> tile_has_chunks(static_cast<size_t>(in.num_nodes), false);
+
+  for (std::uint32_t c : in.output_order) {
+    const int p = in.owner_of_output[c];
+    const std::uint64_t size = in.accum_bytes[c];
+    auto& m = memory[static_cast<size_t>(p)];
+    if (size > in.memory_per_node) {
+      ADR_WARN("DA: accumulator chunk " << c << " exceeds node memory; gets own tile");
+    }
+    if (m < size && tile_has_chunks[static_cast<size_t>(p)]) {
+      ++tile[static_cast<size_t>(p)];
+      m = in.memory_per_node >= size ? in.memory_per_node - size : 0;
+    } else {
+      m = m >= size ? m - size : 0;
+    }
+    tile_has_chunks[static_cast<size_t>(p)] = true;
+    plan.tile_of_output[c] = tile[static_cast<size_t>(p)];
+  }
+
+  int max_tile = -1;
+  for (std::size_t p = 0; p < tile.size(); ++p) {
+    if (tile_has_chunks[p]) max_tile = std::max(max_tile, tile[p]);
+  }
+  plan.num_tiles = max_tile + 1;
+
+  populate_plan(plan, in);
+  return plan;
+}
+
+}  // namespace adr

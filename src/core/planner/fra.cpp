@@ -1,0 +1,70 @@
+// Fully Replicated Accumulator strategy — a literal transcription of the
+// paper's Figure 4.
+//
+//   1. Memory = min over processors of accumulator memory
+//   2. Tile = 1; MemoryUsed = 0
+//   3. while there is an unassigned output chunk:
+//   4.   select an output chunk C (Hilbert order)
+//   5.   ChunkSize = size of C's accumulator chunk
+//   6.   if ChunkSize + MemoryUsed > Memory: Tile += 1; MemoryUsed = ChunkSize
+//   else MemoryUsed += ChunkSize
+//  11.   assign C to Tile; owner k gets the local accumulator chunk;
+//  14.   C becomes a ghost chunk on all other processors;
+//  15.   k's local input chunks that map to C are read in C's tile.
+//
+// Step 15's read sets (for every processor, not just the owner) and the
+// expected message counts are derived uniformly by populate_plan().
+#include "core/planner/strategy.hpp"
+
+#include <cassert>
+
+#include "common/logging.hpp"
+
+namespace adr {
+
+QueryPlan plan_fra(const PlannerInput& in) {
+  assert(in.valid());
+  const std::size_t num_outputs = in.owner_of_output.size();
+
+  QueryPlan plan;
+  plan.strategy = StrategyKind::kFRA;
+  plan.num_nodes = in.num_nodes;
+  plan.owner_of_output = in.owner_of_output;
+  plan.tile_of_output.assign(num_outputs, 0);
+  plan.ghost_hosts.assign(num_outputs, {});
+  plan.node_tiles.assign(static_cast<size_t>(in.num_nodes), {});
+
+  // All nodes have the same budget in our configurations; the paper takes
+  // the minimum across processors.
+  const std::uint64_t memory = in.memory_per_node;
+
+  int tile = 0;
+  std::uint64_t used = 0;
+  for (std::uint32_t c : in.output_order) {
+    const std::uint64_t size = in.accum_bytes[c];
+    if (size > memory) {
+      ADR_WARN("FRA: accumulator chunk " << c << " (" << size
+                                         << " B) exceeds node memory; gets own tile");
+    }
+    if (used + size > memory && used > 0) {
+      ++tile;
+      used = size;
+    } else {
+      used += size;
+    }
+    plan.tile_of_output[c] = tile;
+    // Ghost chunk on every processor other than the owner.
+    const int owner = in.owner_of_output[c];
+    auto& hosts = plan.ghost_hosts[c];
+    hosts.reserve(static_cast<size_t>(in.num_nodes - 1));
+    for (int p = 0; p < in.num_nodes; ++p) {
+      if (p != owner) hosts.push_back(p);
+    }
+  }
+  plan.num_tiles = num_outputs == 0 ? 0 : tile + 1;
+
+  populate_plan(plan, in);
+  return plan;
+}
+
+}  // namespace adr

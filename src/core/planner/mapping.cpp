@@ -1,0 +1,33 @@
+#include "core/planner/mapping.hpp"
+
+#include <algorithm>
+
+#include "storage/rtree.hpp"
+
+namespace adr {
+
+ChunkMapping build_mapping(const std::vector<Rect>& input_mbrs,
+                           const std::vector<Rect>& output_mbrs,
+                           const MapFunction* map) {
+  ChunkMapping m;
+  m.in_to_out.resize(input_mbrs.size());
+  m.out_to_in.resize(output_mbrs.size());
+
+  RTree out_index;
+  out_index.bulk_load(output_mbrs);
+
+  const int out_dims = output_mbrs.empty() ? 0 : output_mbrs.front().dims();
+  IdentityMap identity(out_dims);
+  const MapFunction* fn = map != nullptr ? map : &identity;
+
+  for (std::uint32_t i = 0; i < input_mbrs.size(); ++i) {
+    const Rect projected = fn->project(input_mbrs[i]);
+    std::vector<std::uint32_t> outs = out_index.query(projected);
+    for (std::uint32_t o : outs) m.out_to_in[o].push_back(i);
+    m.in_to_out[i] = std::move(outs);
+  }
+  // out_to_in filled in ascending i already; in_to_out sorted by query().
+  return m;
+}
+
+}  // namespace adr

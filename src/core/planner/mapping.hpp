@@ -1,0 +1,26 @@
+// Chunk-level mapping construction.
+//
+// Composes the user Map function with the output dataset's chunk layout:
+// input chunk i contributes to output chunk o iff Map(mbr(i)) intersects
+// mbr(o).  An R-tree over the selected output chunk MBRs makes this
+// O(N log M) instead of O(N*M) — the planner's analogue of the "efficient
+// inverse mapping function or efficient search method" the paper requires
+// for step 15 of Figure 4.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "core/attribute_space.hpp"
+#include "core/planner/plan.hpp"
+
+namespace adr {
+
+/// Builds the mapping over *selected* chunk MBRs.  `map` may be null
+/// (identity onto the output dimensionality).
+ChunkMapping build_mapping(const std::vector<Rect>& input_mbrs,
+                           const std::vector<Rect>& output_mbrs,
+                           const MapFunction* map);
+
+}  // namespace adr

@@ -1,0 +1,116 @@
+// Query plans (output of the query planning service).
+//
+// A plan specifies, per back-end node and per tile, which accumulator
+// chunks are resident (owned or ghost), which local input chunks to read,
+// and how many messages of each kind to expect — everything the query
+// execution service needs to run the four phases without any further
+// global coordination.
+//
+// Chunk indices inside a plan are *positions within the query's selected
+// chunk sets* (0..N-1 for inputs, 0..M-1 for outputs); the execution
+// context translates them back to dataset chunk ids.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/query.hpp"
+
+namespace adr {
+
+/// Chunk-level input->output mapping for one query.
+struct ChunkMapping {
+  /// in_to_out[i] = sorted output positions input i contributes to.
+  std::vector<std::vector<std::uint32_t>> in_to_out;
+  /// out_to_in[o] = sorted input positions contributing to output o.
+  std::vector<std::vector<std::uint32_t>> out_to_in;
+
+  std::size_t num_inputs() const { return in_to_out.size(); }
+  std::size_t num_outputs() const { return out_to_in.size(); }
+
+  std::size_t edge_count() const;
+  double mean_fan_out() const;  // avg outputs per input
+  double mean_fan_in() const;   // avg inputs per output
+};
+
+/// Everything the strategies need to partition work.
+struct PlannerInput {
+  int num_nodes = 1;
+  /// Per-node memory budget for accumulator chunks, in bytes.
+  std::uint64_t memory_per_node = 0;
+
+  /// Owning node of each selected input / output chunk (from placement).
+  std::vector<int> owner_of_input;
+  std::vector<int> owner_of_output;
+
+  /// Sizes in bytes.
+  std::vector<std::uint64_t> input_bytes;
+  std::vector<std::uint64_t> output_bytes;
+  /// Accumulator chunk sizes (output_bytes x aggregation multiplier).
+  std::vector<std::uint64_t> accum_bytes;
+
+  const ChunkMapping* mapping = nullptr;
+
+  /// Output positions in tiling order (Hilbert order of MBR midpoints).
+  std::vector<std::uint32_t> output_order;
+
+  bool valid() const;
+};
+
+/// Per-(node, tile) work description.
+struct NodeTilePlan {
+  /// Output positions whose accumulator lives here as the owner copy.
+  std::vector<std::uint32_t> local_accum;
+  /// Output positions replicated here as ghost chunks (FRA/SRA).
+  std::vector<std::uint32_t> ghost_accum;
+  /// Local input positions to read from disk in this tile.
+  std::vector<std::uint32_t> reads;
+  /// DA: number of forwarded input-chunk messages to expect.
+  int expected_inputs = 0;
+  /// Ghost-init messages to expect (ghosts hosted here), when the
+  /// aggregation initializes from existing output.
+  int expected_ghost_inits = 0;
+  /// Ghost-combine messages to expect (as owner of local_accum chunks).
+  int expected_combines = 0;
+};
+
+struct QueryPlan {
+  StrategyKind strategy = StrategyKind::kFRA;
+  int num_nodes = 1;
+  /// Global number of tile steps (max over nodes for DA).
+  int num_tiles = 0;
+
+  /// Tile step in which each output chunk is processed.  Global for
+  /// FRA/SRA; owner-local for DA (all nodes step tiles in lockstep).
+  std::vector<int> tile_of_output;
+  /// Owning node per output chunk (copied from PlannerInput).
+  std::vector<int> owner_of_output;
+  /// Ghost-hosting nodes per output chunk, excluding the owner.
+  std::vector<std::vector<int>> ghost_hosts;
+
+  /// node_tiles[node][tile].
+  std::vector<std::vector<NodeTilePlan>> node_tiles;
+
+  // ---- plan-level statistics (inputs to the cost model & benches) ----
+  std::uint64_t total_ghost_chunks = 0;  // sum over tiles/nodes of ghosts
+  std::uint64_t total_reads = 0;         // chunk reads incl. re-reads
+  std::uint64_t total_read_bytes = 0;
+
+  std::string summary() const;
+};
+
+/// Shared helper: appends tile plan rows so that node_tiles[n] has at
+/// least `tiles` entries for every node.
+void ensure_tiles(QueryPlan& plan, int tiles);
+
+/// Recomputes the plan-level statistics from the node_tiles contents.
+void finalize_plan_stats(QueryPlan& plan, const PlannerInput& in);
+
+/// Validates structural invariants (every output in exactly one tile &
+/// one owner's local set; reads only of local inputs; ghost sets
+/// consistent with ghost_hosts).  Aborts via assert in debug builds,
+/// returns false on violation in release builds.
+bool validate_plan(const QueryPlan& plan, const PlannerInput& in);
+
+}  // namespace adr

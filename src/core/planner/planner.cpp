@@ -1,0 +1,214 @@
+#include "core/planner/planner.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/logging.hpp"
+#include "core/planner/mapping.hpp"
+#include "core/planner/tiling.hpp"
+
+namespace adr {
+namespace {
+
+bool hosts_replica(const QueryPlan& plan, int p, std::uint32_t o) {
+  if (plan.owner_of_output[o] == p) return true;
+  const auto& hosts = plan.ghost_hosts[o];
+  return std::binary_search(hosts.begin(), hosts.end(), p);
+}
+
+}  // namespace
+
+void populate_plan(QueryPlan& plan, const PlannerInput& in) {
+  const ChunkMapping& mapping = *in.mapping;
+  const std::size_t num_outputs = in.owner_of_output.size();
+  const std::size_t num_inputs = in.owner_of_input.size();
+
+  ensure_tiles(plan, plan.num_tiles);
+
+  // Accumulator residency and combine/init message counts.
+  for (std::uint32_t o = 0; o < num_outputs; ++o) {
+    const int tile = plan.tile_of_output[o];
+    const int owner = plan.owner_of_output[o];
+    NodeTilePlan& owner_tp =
+        plan.node_tiles[static_cast<size_t>(owner)][static_cast<size_t>(tile)];
+    owner_tp.local_accum.push_back(o);
+    owner_tp.expected_combines += static_cast<int>(plan.ghost_hosts[o].size());
+    for (int host : plan.ghost_hosts[o]) {
+      NodeTilePlan& host_tp =
+          plan.node_tiles[static_cast<size_t>(host)][static_cast<size_t>(tile)];
+      host_tp.ghost_accum.push_back(o);
+      host_tp.expected_ghost_inits += 1;
+    }
+  }
+
+  // Read lists: a node reads each of its local input chunks once per tile
+  // in which the chunk has at least one target output chunk.
+  std::unordered_set<int> tiles_needed;
+  for (std::uint32_t i = 0; i < num_inputs; ++i) {
+    const auto& outs = mapping.in_to_out[i];
+    if (outs.empty()) continue;
+    tiles_needed.clear();
+    for (std::uint32_t o : outs) tiles_needed.insert(plan.tile_of_output[o]);
+    const int node = in.owner_of_input[i];
+    for (int t : tiles_needed) {
+      plan.node_tiles[static_cast<size_t>(node)][static_cast<size_t>(t)].reads.push_back(i);
+    }
+  }
+  // Deterministic read order (ascending input position).
+  for (auto& node : plan.node_tiles) {
+    for (auto& tile : node) std::sort(tile.reads.begin(), tile.reads.end());
+  }
+
+  // Forwarded-input message counts: for every edge whose source node does
+  // not host the target replica, the input chunk travels to the owner —
+  // one message per distinct (input, destination, tile).
+  std::unordered_set<std::uint64_t> dests;  // packed (dst, tile)
+  for (std::uint32_t i = 0; i < num_inputs; ++i) {
+    const int src = in.owner_of_input[i];
+    dests.clear();
+    for (std::uint32_t o : mapping.in_to_out[i]) {
+      if (hosts_replica(plan, src, o)) continue;
+      const int dst = plan.owner_of_output[o];
+      const int tile = plan.tile_of_output[o];
+      dests.insert((static_cast<std::uint64_t>(dst) << 32) |
+                   static_cast<std::uint32_t>(tile));
+    }
+    for (std::uint64_t key : dests) {
+      const int dst = static_cast<int>(key >> 32);
+      const int tile = static_cast<int>(key & 0xffffffffu);
+      plan.node_tiles[static_cast<size_t>(dst)][static_cast<size_t>(tile)]
+          .expected_inputs += 1;
+    }
+  }
+
+  finalize_plan_stats(plan, in);
+}
+
+PlannedQuery plan_query(const PlanRequest& request) {
+  if (request.input == nullptr || request.output == nullptr) {
+    throw std::invalid_argument("plan_query: missing dataset");
+  }
+  if (request.num_nodes < 1 || request.memory_per_node == 0) {
+    throw std::invalid_argument("plan_query: bad machine description");
+  }
+  if (!request.range.valid()) {
+    throw std::invalid_argument("plan_query: invalid query range");
+  }
+
+  PlannedQuery result;
+
+  // --- selection through the indexing service (all input datasets).
+  std::vector<const Dataset*> inputs;
+  inputs.push_back(request.input);
+  for (const Dataset* extra : request.extra_inputs) {
+    if (extra == nullptr) throw std::invalid_argument("plan_query: null extra input");
+    if (extra->domain().dims() != request.input->domain().dims()) {
+      throw std::invalid_argument("plan_query: extra input dimensionality mismatch");
+    }
+    inputs.push_back(extra);
+  }
+  for (std::size_t ordinal = 0; ordinal < inputs.size(); ++ordinal) {
+    for (std::uint32_t c : inputs[ordinal]->find_chunks(request.range)) {
+      result.selected_inputs.push_back(c);
+      result.input_dataset_of.push_back(static_cast<std::uint16_t>(ordinal));
+    }
+  }
+
+  // Output selection: chunks intersecting the projected query region.
+  const int out_dims = request.output->domain().dims();
+  IdentityMap identity(out_dims);
+  const MapFunction* map = request.map != nullptr ? request.map : &identity;
+  const Rect out_range = map->project(request.range);
+  result.selected_outputs = request.output->find_chunks(out_range);
+  if (result.selected_outputs.empty()) {
+    throw std::invalid_argument("plan_query: query selects no output chunks");
+  }
+
+  // --- chunk-level mapping over the selections.
+  std::vector<Rect> in_mbrs, out_mbrs;
+  in_mbrs.reserve(result.selected_inputs.size());
+  for (std::size_t pos = 0; pos < result.selected_inputs.size(); ++pos) {
+    const Dataset* ds = inputs[result.input_dataset_of[pos]];
+    in_mbrs.push_back(ds->chunk(result.selected_inputs[pos]).mbr);
+  }
+  out_mbrs.reserve(result.selected_outputs.size());
+  for (std::uint32_t c : result.selected_outputs) {
+    out_mbrs.push_back(request.output->chunk(c).mbr);
+  }
+  result.mapping = build_mapping(in_mbrs, out_mbrs, request.map);
+
+  // --- planner input.
+  PlannerInput in;
+  in.num_nodes = request.num_nodes;
+  in.memory_per_node = request.memory_per_node;
+  in.mapping = &result.mapping;
+  const double multiplier =
+      request.op != nullptr ? request.op->layout().size_multiplier : 1.0;
+  for (std::size_t pos = 0; pos < result.selected_inputs.size(); ++pos) {
+    const Dataset* ds = inputs[result.input_dataset_of[pos]];
+    const ChunkMeta& meta = ds->chunk(result.selected_inputs[pos]);
+    in.owner_of_input.push_back(node_of_disk(meta.disk, request.disks_per_node));
+    in.input_bytes.push_back(meta.bytes);
+  }
+  for (std::uint32_t c : result.selected_outputs) {
+    const ChunkMeta& meta = request.output->chunk(c);
+    in.owner_of_output.push_back(node_of_disk(meta.disk, request.disks_per_node));
+    in.output_bytes.push_back(meta.bytes);
+    in.accum_bytes.push_back(
+        static_cast<std::uint64_t>(static_cast<double>(meta.bytes) * multiplier));
+  }
+  in.output_order =
+      tiling_order(out_mbrs, request.output->domain(), request.order, request.seed);
+  if (!in.valid()) throw std::invalid_argument("plan_query: inconsistent planner input");
+
+  // --- strategy dispatch.
+  StrategyKind chosen = request.strategy;
+  if (chosen == StrategyKind::kAuto) {
+    double best = std::numeric_limits<double>::infinity();
+    for (StrategyKind s : {StrategyKind::kFRA, StrategyKind::kSRA, StrategyKind::kDA}) {
+      QueryPlan candidate = s == StrategyKind::kFRA   ? plan_fra(in)
+                            : s == StrategyKind::kSRA ? plan_sra(in)
+                                                      : plan_da(in);
+      const CostEstimate est =
+          estimate_cost(candidate, in, request.costs, request.machine);
+      result.estimates.emplace_back(s, est);
+      ADR_INFO("auto-select: " << to_string(s) << " -> " << est.to_string());
+      if (est.total_s < best) {
+        best = est.total_s;
+        chosen = s;
+        result.plan = std::move(candidate);
+      }
+    }
+  } else {
+    switch (chosen) {
+      case StrategyKind::kFRA:
+        result.plan = plan_fra(in);
+        break;
+      case StrategyKind::kSRA:
+        result.plan = plan_sra(in);
+        break;
+      case StrategyKind::kDA:
+        result.plan = plan_da(in);
+        break;
+      case StrategyKind::kHybrid:
+        result.plan = plan_hybrid(in, request.hybrid_threshold);
+        break;
+      case StrategyKind::kAuto:
+        break;  // handled above
+    }
+  }
+  result.chosen = result.plan.strategy;
+
+  assert(validate_plan(result.plan, in));
+
+  result.owner_of_input = std::move(in.owner_of_input);
+  result.input_bytes = std::move(in.input_bytes);
+  result.output_bytes = std::move(in.output_bytes);
+  result.accum_bytes = std::move(in.accum_bytes);
+  return result;
+}
+
+}  // namespace adr

@@ -1,0 +1,43 @@
+// Workload partitioning strategies (paper section 3).
+//
+// Each strategy decides (a) which tile each output chunk is processed in
+// and (b) which nodes host a replica of each accumulator chunk:
+//
+//   FRA    - every node hosts every accumulator chunk of the tile,
+//   SRA    - only nodes owning input chunks that project to it,
+//   DA     - only the owner (remote inputs are forwarded instead),
+//   Hybrid - nodes contributing at least a threshold fraction of the
+//            input bytes host a ghost; the rest forward (paper section 6
+//            sketches this as a graph-partitioning formulation).
+//
+// The execution engine applies one uniform rule afterwards: when a node
+// holds a replica of a target accumulator chunk it aggregates locally,
+// otherwise it forwards the input chunk to the owner.  populate_plan()
+// derives reads and expected message counts from the replica sets, so the
+// strategies only produce tile assignments and ghost-host sets.
+#pragma once
+
+#include "core/planner/plan.hpp"
+
+namespace adr {
+
+/// Fully Replicated Accumulator (paper Fig. 4).
+QueryPlan plan_fra(const PlannerInput& in);
+
+/// Sparsely Replicated Accumulator (paper Fig. 5).
+QueryPlan plan_sra(const PlannerInput& in);
+
+/// Distributed Accumulator (paper Fig. 6).
+QueryPlan plan_da(const PlannerInput& in);
+
+/// Hybrid replication with contribution threshold in (0, 1].
+/// threshold -> 0 behaves like SRA; threshold > 1 behaves like DA.
+QueryPlan plan_hybrid(const PlannerInput& in, double threshold = 0.25);
+
+/// Fills node_tiles (local/ghost accumulator sets, read lists, expected
+/// message counts) from strategy/tile_of_output/owner_of_output/
+/// ghost_hosts, then finalizes plan statistics.  ghost_hosts[o] must be
+/// sorted and exclude the owner.
+void populate_plan(QueryPlan& plan, const PlannerInput& in);
+
+}  // namespace adr

@@ -1,0 +1,45 @@
+#include "core/query.hpp"
+
+namespace adr {
+
+std::string to_string(StrategyKind s) {
+  switch (s) {
+    case StrategyKind::kFRA:
+      return "FRA";
+    case StrategyKind::kSRA:
+      return "SRA";
+    case StrategyKind::kDA:
+      return "DA";
+    case StrategyKind::kHybrid:
+      return "Hybrid";
+    case StrategyKind::kAuto:
+      return "Auto";
+  }
+  return "?";
+}
+
+std::string to_string(OutputDelivery d) {
+  switch (d) {
+    case OutputDelivery::kWriteBack:
+      return "write-back";
+    case OutputDelivery::kReturnToClient:
+      return "return-to-client";
+    case OutputDelivery::kDiscard:
+      return "discard";
+  }
+  return "?";
+}
+
+std::string to_string(TilingOrder o) {
+  switch (o) {
+    case TilingOrder::kHilbert:
+      return "hilbert";
+    case TilingOrder::kRowMajor:
+      return "row-major";
+    case TilingOrder::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+}  // namespace adr

@@ -1,0 +1,76 @@
+#include "emulator/emulator.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/random.hpp"
+
+namespace adr::emu {
+
+std::uint64_t EmulatedApp::input_bytes() const {
+  std::uint64_t total = 0;
+  for (const Chunk& c : input_chunks) total += c.meta().bytes;
+  return total;
+}
+
+std::uint64_t EmulatedApp::output_bytes() const {
+  std::uint64_t total = 0;
+  for (const Chunk& c : output_chunks) total += c.meta().bytes;
+  return total;
+}
+
+Rect grid_cell(const Rect& domain, int nx, int ny, int ix, int iy) {
+  assert(domain.dims() >= 2);
+  assert(ix >= 0 && ix < nx && iy >= 0 && iy < ny);
+  const double dx = domain.extent(0) / nx;
+  const double dy = domain.extent(1) / ny;
+  // Shrink so adjacent cells do not share a face (closed-interval
+  // intersection would otherwise make every aligned neighbour a target).
+  const double ex = dx * 1e-9;
+  const double ey = dy * 1e-9;
+  Point lo(2), hi(2);
+  lo[0] = domain.lo()[0] + ix * dx + ex;
+  hi[0] = domain.lo()[0] + (ix + 1) * dx - ex;
+  lo[1] = domain.lo()[1] + iy * dy + ey;
+  hi[1] = domain.lo()[1] + (iy + 1) * dy - ey;
+  return Rect(lo, hi);
+}
+
+std::vector<std::byte> make_payload(std::uint64_t index, int values) {
+  std::vector<std::uint64_t> data(static_cast<size_t>(values));
+  for (int j = 0; j < values; ++j) {
+    // Small values so integer sums cannot overflow even in huge scenarios.
+    data[static_cast<size_t>(j)] =
+        mix_seed(index, static_cast<std::uint64_t>(j)) % 1000;
+  }
+  std::vector<std::byte> bytes(data.size() * sizeof(std::uint64_t));
+  std::memcpy(bytes.data(), data.data(), bytes.size());
+  return bytes;
+}
+
+std::vector<Chunk> make_output_grid(const Rect& domain, int nx, int ny,
+                                    std::uint64_t chunk_bytes, int payload_values) {
+  std::vector<Chunk> chunks;
+  chunks.reserve(static_cast<size_t>(nx) * static_cast<size_t>(ny));
+  for (int iy = 0; iy < ny; ++iy) {
+    for (int ix = 0; ix < nx; ++ix) {
+      ChunkMeta meta;
+      meta.mbr = grid_cell(domain, nx, ny, ix, iy);
+      Chunk chunk;
+      if (payload_values > 0) {
+        // Zero-initialized existing output contents.
+        std::vector<std::byte> payload(
+            static_cast<size_t>(payload_values) * sizeof(std::uint64_t), std::byte{0});
+        meta.bytes = payload.size();
+        chunk = Chunk(meta, std::move(payload));
+      } else {
+        meta.bytes = chunk_bytes;
+        chunk = Chunk(meta);
+      }
+      chunks.push_back(std::move(chunk));
+    }
+  }
+  return chunks;
+}
+
+}  // namespace adr::emu

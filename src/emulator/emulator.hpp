@@ -1,0 +1,110 @@
+// Application emulators (paper section 4, methodology of reference [37]).
+//
+// The paper evaluates ADR with *application emulators*: parameterized
+// models of the three motivating application classes, whose knobs scale
+// the scenario while preserving its structure.  Each emulator generates
+// the input/output chunk geometry (and optionally payloads) of one class:
+//
+//   SAT - satellite data processing (AVHRR-like): 3-D (lon, lat, time)
+//         input with polar-orbit skew (chunks elongate near the poles and
+//         oversample high latitudes), composited onto a 2-D image grid.
+//   VM  - Virtual Microscope: dense regular image grid, each input chunk
+//         falls inside exactly one output chunk (fan-out 1).
+//   WCS - water contamination studies: hydrodynamics grid over time
+//         mapped onto a chemical-transport grid; a fraction of input
+//         chunks straddles an output chunk boundary (fan-out ~1.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "core/planner/cost_model.hpp"
+#include "storage/chunk.hpp"
+
+namespace adr::emu {
+
+/// A generated application scenario: chunk geometry + processing costs.
+struct EmulatedApp {
+  std::string name;
+  Rect input_domain;
+  Rect output_domain;
+  std::vector<Chunk> input_chunks;
+  std::vector<Chunk> output_chunks;
+  ComputeCosts costs;
+  /// Accumulator bytes per output byte (drives tiling pressure).
+  double accum_multiplier = 1.0;
+
+  std::uint64_t input_bytes() const;
+  std::uint64_t output_bytes() const;
+};
+
+/// Common knobs shared by the three emulators.
+struct CommonParams {
+  /// Number of input chunks to generate.
+  int num_input_chunks = 1000;
+  /// Nominal on-disk size per input chunk (drives I/O & network costs).
+  std::uint64_t input_chunk_bytes = 128 * 1024;
+  std::uint64_t output_chunk_bytes = 96 * 1024;
+  /// When > 0, attach real payloads of this many uint64 values per input
+  /// chunk (and zeroed output payloads) and use the payload size as the
+  /// chunk size — for thread-executor runs and tests.
+  int payload_values = 0;
+  std::uint64_t seed = 42;
+};
+
+struct SatParams {
+  CommonParams common;
+  int out_grid_lon = 16;
+  int out_grid_lat = 16;
+  /// Orbit inclination: ground tracks oversample +/- this latitude.
+  double inclination_deg = 80.0;
+  /// Chunk footprint at the equator, in degrees.  The defaults are tuned
+  /// so the chunk-level mapping reproduces Table 1's SAT fan-out of ~4.6
+  /// (and thereby fan-in ~161 at 9K chunks) against the 16x16 output
+  /// grid, after polar widening and edge clipping.
+  double lon_extent_deg = 15.5;
+  double lat_extent_deg = 12.5;
+  double accum_multiplier = 8.0;
+  ComputeCosts costs{0.001, 0.040, 0.020, 0.001};
+};
+
+struct VmParams {
+  CommonParams common;
+  int out_grid = 16;  // 16x16 = 256 output chunks
+  double accum_multiplier = 2.0;
+  ComputeCosts costs{0.001, 0.005, 0.001, 0.001};
+};
+
+struct WcsParams {
+  CommonParams common;
+  int out_grid_x = 15;
+  int out_grid_y = 10;
+  /// Input chunks per output chunk per spatial dimension.
+  int input_per_output = 2;
+  /// Fraction of input chunks straddling an output boundary in x.
+  double straddle_fraction = 0.2;
+  double accum_multiplier = 10.0;
+  ComputeCosts costs{0.001, 0.020, 0.001, 0.001};
+};
+
+EmulatedApp make_sat(const SatParams& params);
+EmulatedApp make_vm(const VmParams& params);
+EmulatedApp make_wcs(const WcsParams& params);
+
+// ---- shared helpers (used by the emulators; exposed for tests) ----
+
+/// Cell [ix, iy) of an nx x ny grid over `domain`, shrunk by a relative
+/// epsilon so adjacent cells do not touch (half-open semantics under the
+/// closed-interval Rect::intersects).
+Rect grid_cell(const Rect& domain, int nx, int ny, int ix, int iy);
+
+/// Builds a regular grid of output chunks over `domain`.
+std::vector<Chunk> make_output_grid(const Rect& domain, int nx, int ny,
+                                    std::uint64_t chunk_bytes, int payload_values);
+
+/// Deterministic payload for chunk `index`: values mix(index, j).
+std::vector<std::byte> make_payload(std::uint64_t index, int values);
+
+}  // namespace adr::emu

@@ -1,0 +1,100 @@
+// Paper experiment scenarios.
+//
+// Binds the emulators to the exact configurations of the paper's Table 1
+// and provides run_experiment(), the single entry point every benchmark
+// uses: build the scenario, load both datasets onto the simulated disk
+// farm, plan with the requested strategy, and execute on the modelled
+// IBM SP in virtual time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/exec/exec_stats.hpp"
+#include "core/planner/planner.hpp"
+#include "core/query.hpp"
+#include "emulator/emulator.hpp"
+#include "sim/cluster.hpp"
+#include "storage/decluster.hpp"
+
+namespace adr::emu {
+
+enum class PaperApp { kSat, kWcs, kVm };
+
+std::string to_string(PaperApp app);
+
+/// Table 1 row for one application class.
+struct PaperScenario {
+  PaperApp app;
+  /// Smallest input dataset (the fixed-size experiments).
+  int base_chunks;
+  std::uint64_t input_chunk_bytes;
+  int output_chunks;  // informational; the emulators fix the grid shape
+  std::uint64_t output_chunk_bytes;
+  double accum_multiplier;
+  ComputeCosts costs;
+};
+
+PaperScenario paper_scenario(PaperApp app);
+
+/// Builds the emulated application for a scenario at a given input size.
+EmulatedApp build_app(const PaperScenario& scenario, int num_input_chunks,
+                      std::uint64_t seed, int payload_values = 0);
+
+struct ExperimentConfig {
+  PaperApp app = PaperApp::kSat;
+  int nodes = 8;
+  /// Disks attached to each node (the SP had 1; ADR supports farms).
+  int disks_per_node = 1;
+  /// Scaled experiments grow the input with the machine: chunks =
+  /// base * nodes / 8 (the paper's right-hand columns of Fig. 8).
+  bool scaled = false;
+  /// Explicit chunk count override (0 = base, honoring `scaled`).
+  int input_chunks = 0;
+  StrategyKind strategy = StrategyKind::kFRA;
+  TilingOrder tiling = TilingOrder::kHilbert;
+  DeclusterMethod decluster = DeclusterMethod::kHilbert;
+  double hybrid_threshold = 0.25;
+  std::uint64_t memory_per_node = 32ull * 1024 * 1024;
+  std::uint64_t seed = 42;
+  /// Tile-pipelined execution (false = per-phase barriers ablation).
+  bool pipeline_tiles = true;
+  /// Record the per-node phase timeline into the result stats.
+  bool record_trace = false;
+  /// Fraction of each spatial dimension the range query covers (1.0 =
+  /// whole domain, the paper's configuration).  Smaller values probe
+  /// query selectivity; the time dimension is always fully covered.
+  double query_fraction = 1.0;
+  /// Per-node file-system buffer cache (0 = off, the paper flushed it).
+  std::uint64_t disk_cache_bytes = 0;
+};
+
+struct ExperimentResult {
+  ExecStats stats;
+  int tiles = 0;
+  std::uint64_t ghost_chunks = 0;
+  std::uint64_t chunk_reads = 0;
+  double fan_in = 0.0;
+  double fan_out = 0.0;
+  int input_chunks = 0;
+  int output_chunks = 0;
+  /// Chunks the indexing service actually selected for the range query
+  /// (== the totals when the query covers the whole domain).
+  int selected_inputs = 0;
+  int selected_outputs = 0;
+  std::uint64_t input_bytes = 0;
+  std::uint64_t output_bytes = 0;
+  /// Analytic cost-model prediction for the executed plan.
+  CostEstimate predicted;
+
+  /// Mean per-node communication volume in MB (paper Fig. 9 a-b).
+  double comm_mb_per_node() const;
+  /// Mean per-node computation time in seconds (paper Fig. 9 c-d).
+  double compute_s_per_node() const;
+};
+
+/// Runs one paper experiment on the simulated cluster (metadata-only:
+/// exact counts, volumes and virtual times; no payload processing).
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+}  // namespace adr::emu

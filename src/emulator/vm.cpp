@@ -1,0 +1,60 @@
+// VM emulator: the Virtual Microscope.
+//
+// A digitized slide is a dense regular 2-D image (optionally several
+// focal planes; the spatial structure dominates, so we model one plane).
+// Input chunks partition the slide into an (16k x 16k) grid so that every
+// input chunk falls inside exactly one output chunk of the 16x16 display
+// grid: fan-out 1.0 and fan-in = N/256, matching the paper's Table 1
+// (fan-in 16 at 4K chunks).  The requested chunk count is rounded to the
+// nearest realizable grid.
+#include <algorithm>
+#include <cmath>
+
+#include "emulator/emulator.hpp"
+
+namespace adr::emu {
+
+EmulatedApp make_vm(const VmParams& params) {
+  EmulatedApp app;
+  app.name = "VM";
+  app.costs = params.costs;
+  app.accum_multiplier = params.accum_multiplier;
+
+  const int out = params.out_grid;
+  // Input grid side must be a multiple of the output grid side so chunks
+  // nest exactly (fan-out 1).
+  const double target = std::sqrt(static_cast<double>(params.common.num_input_chunks));
+  const int k = std::max(1, static_cast<int>(std::lround(target / out)));
+  const int side = out * k;
+
+  const double extent = 65536.0;  // pixels
+  app.input_domain = Rect(Point{0.0, 0.0}, Point{extent, extent});
+  app.output_domain = app.input_domain;
+
+  app.output_chunks =
+      make_output_grid(app.output_domain, out, out, params.common.output_chunk_bytes,
+                       params.common.payload_values);
+
+  app.input_chunks.reserve(static_cast<size_t>(side) * static_cast<size_t>(side));
+  std::uint64_t index = 0;
+  for (int iy = 0; iy < side; ++iy) {
+    for (int ix = 0; ix < side; ++ix) {
+      ChunkMeta meta;
+      meta.mbr = grid_cell(app.input_domain, side, side, ix, iy);
+      Chunk chunk;
+      if (params.common.payload_values > 0) {
+        auto payload = make_payload(index, params.common.payload_values);
+        meta.bytes = payload.size();
+        chunk = Chunk(meta, std::move(payload));
+      } else {
+        meta.bytes = params.common.input_chunk_bytes;
+        chunk = Chunk(meta);
+      }
+      app.input_chunks.push_back(std::move(chunk));
+      ++index;
+    }
+  }
+  return app;
+}
+
+}  // namespace adr::emu

@@ -1,0 +1,90 @@
+// WCS emulator: water contamination studies.
+//
+// A hydrodynamics simulation produces a regular spatial grid of flow data
+// per time step; a chemical-transport code consumes it on a coarser grid,
+// averaging over the queried time period.  Input chunks form an
+// (input_per_output x out_grid) spatial grid replicated across time
+// steps; a configurable fraction of chunks straddles an output-chunk
+// boundary in x (hydro elements crossing chem cells), which sets the
+// chunk-level fan-out: 0.2 straddlers -> fan-out 1.2, edges/outputs = 60
+// at 7.5K chunks — the paper's Table 1 values for WCS.
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.hpp"
+#include "emulator/emulator.hpp"
+
+namespace adr::emu {
+
+EmulatedApp make_wcs(const WcsParams& params) {
+  EmulatedApp app;
+  app.name = "WCS";
+  app.costs = params.costs;
+  app.accum_multiplier = params.accum_multiplier;
+
+  const int nx = params.out_grid_x * params.input_per_output;
+  const int ny = params.out_grid_y * params.input_per_output;
+  const int per_step = nx * ny;
+  const int n = params.common.num_input_chunks;
+  const int steps = (n + per_step - 1) / per_step;
+
+  const double width = 1000.0, height = 600.0;  // simulation domain (km)
+  app.input_domain =
+      Rect(Point{0.0, 0.0, 0.0}, Point{width, height, static_cast<double>(steps)});
+  app.output_domain = Rect(Point{0.0, 0.0}, Point{width, height});
+
+  app.output_chunks =
+      make_output_grid(app.output_domain, params.out_grid_x, params.out_grid_y,
+                       params.common.output_chunk_bytes, params.common.payload_values);
+
+  Rng rng(params.common.seed);
+  const double out_w = width / params.out_grid_x;
+
+  app.input_chunks.reserve(static_cast<size_t>(n));
+  int produced = 0;
+  for (int t = 0; t < steps && produced < n; ++t) {
+    for (int iy = 0; iy < ny && produced < n; ++iy) {
+      for (int ix = 0; ix < nx && produced < n; ++ix) {
+        Rect cell2d = grid_cell(app.output_domain, nx, ny, ix, iy);
+        double x_lo = cell2d.lo()[0];
+        double x_hi = cell2d.hi()[0];
+        // A straddling hydro element extends into the next chem cell.
+        // 0.6 of an output width guarantees exactly one boundary is
+        // crossed from either half of the source cell.
+        if (rng.chance(params.straddle_fraction)) {
+          const double reach = 0.6 * out_w;
+          if (x_hi + reach < width) {
+            x_hi += reach;
+          } else if (x_lo - reach > 0.0) {
+            x_lo -= reach;
+          }
+        }
+        Point lo(3), hi(3);
+        lo[0] = x_lo;
+        hi[0] = x_hi;
+        lo[1] = cell2d.lo()[1];
+        hi[1] = cell2d.hi()[1];
+        lo[2] = static_cast<double>(t);
+        hi[2] = static_cast<double>(t) + 0.999;
+
+        ChunkMeta meta;
+        meta.mbr = Rect(lo, hi);
+        Chunk chunk;
+        if (params.common.payload_values > 0) {
+          auto payload = make_payload(static_cast<std::uint64_t>(produced),
+                                      params.common.payload_values);
+          meta.bytes = payload.size();
+          chunk = Chunk(meta, std::move(payload));
+        } else {
+          meta.bytes = params.common.input_chunk_bytes;
+          chunk = Chunk(meta);
+        }
+        app.input_chunks.push_back(std::move(chunk));
+        ++produced;
+      }
+    }
+  }
+  return app;
+}
+
+}  // namespace adr::emu

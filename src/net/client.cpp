@@ -1,0 +1,44 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <stdexcept>
+
+#include "net/socket_io.hpp"
+
+namespace adr::net {
+
+AdrClient::AdrClient(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("AdrClient: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("AdrClient: connect() failed");
+  }
+}
+
+AdrClient::~AdrClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+WireResult AdrClient::submit(const Query& query) {
+  if (fd_ < 0) throw std::runtime_error("AdrClient: not connected");
+  if (!write_frame(fd_, encode_query(query))) {
+    throw std::runtime_error("AdrClient: send failed");
+  }
+  std::vector<std::byte> payload;
+  if (!read_frame(fd_, payload)) {
+    throw std::runtime_error("AdrClient: connection closed before result");
+  }
+  return decode_result(payload);
+}
+
+}  // namespace adr::net

@@ -1,0 +1,35 @@
+// ADR socket client (the paper's "sequential client").
+//
+// Connects to an AdrServer and submits range queries synchronously:
+// each submit() sends one query frame and blocks for the result frame.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/query.hpp"
+#include "net/wire.hpp"
+
+namespace adr::net {
+
+class AdrClient {
+ public:
+  /// Connects to 127.0.0.1:`port`; throws std::runtime_error on failure.
+  explicit AdrClient(std::uint16_t port);
+  ~AdrClient();
+
+  AdrClient(const AdrClient&) = delete;
+  AdrClient& operator=(const AdrClient&) = delete;
+
+  /// Sends the query and waits for the result.  Throws WireError /
+  /// std::runtime_error on protocol or transport failure; a server-side
+  /// query failure comes back as WireResult{ok=false, error}.
+  WireResult submit(const Query& query);
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace adr::net

@@ -1,0 +1,103 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "common/logging.hpp"
+#include "net/socket_io.hpp"
+#include "net/wire.hpp"
+
+namespace adr::net {
+
+AdrServer::AdrServer(Repository& repository, std::uint16_t port,
+                     const ComputeCosts& costs)
+    : repository_(&repository), costs_(costs) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("AdrServer: socket() failed");
+  const int reuse = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("AdrServer: bind() failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("AdrServer: getsockname() failed");
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 8) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("AdrServer: listen() failed");
+  }
+}
+
+AdrServer::~AdrServer() { stop(); }
+
+void AdrServer::start() {
+  if (running_.exchange(true)) return;
+  thread_ = std::thread([this]() { serve_loop(); });
+}
+
+void AdrServer::stop() {
+  if (!running_.exchange(false)) {
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return;
+  }
+  // Closing the listening socket unblocks accept(); shutting down any
+  // in-flight connection unblocks its read.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  const int conn = conn_fd_.load();
+  if (conn >= 0) ::shutdown(conn, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+}
+
+void AdrServer::serve_loop() {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load()) break;
+      continue;  // transient accept error
+    }
+    conn_fd_.store(fd);
+    serve_connection(fd);
+    conn_fd_.store(-1);
+    ::close(fd);
+  }
+}
+
+void AdrServer::serve_connection(int fd) {
+  // Serve frames until the client closes or errors.
+  for (;;) {
+    std::vector<std::byte> payload;
+    if (!read_frame(fd, payload)) return;
+    WireResult result;
+    try {
+      const Query query = decode_query(payload);
+      result = to_wire_result(repository_->submit(query, costs_));
+      ++served_;
+    } catch (const std::exception& e) {
+      result.ok = false;
+      result.error = e.what();
+      ADR_WARN("server: query failed: " << e.what());
+    }
+    if (!write_frame(fd, encode_result(result))) return;
+  }
+}
+
+}  // namespace adr::net

@@ -1,0 +1,61 @@
+// ADR front-end socket server.
+//
+// "The front-end interacts with client applications and relays the range
+// queries to the back-end... The socket interface is used for sequential
+// clients." (paper sections 1-2)
+//
+// AdrServer listens on a TCP port (loopback by default), accepts client
+// connections, and serves length-prefixed query frames: each frame is
+// decoded, submitted to the Repository, and answered with a result frame
+// carrying the summary and any return-to-client output chunks.  One
+// connection is served at a time per server thread, matching ADR's
+// single parallel back-end.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "core/frontend.hpp"
+#include "core/planner/cost_model.hpp"
+
+namespace adr::net {
+
+class AdrServer {
+ public:
+  /// Binds to 127.0.0.1:`port` (0 = pick an ephemeral port).  `costs`
+  /// are the compute charges applied to every submitted query.
+  AdrServer(Repository& repository, std::uint16_t port,
+            const ComputeCosts& costs = {});
+  ~AdrServer();
+
+  AdrServer(const AdrServer&) = delete;
+  AdrServer& operator=(const AdrServer&) = delete;
+
+  /// Starts the accept loop on a background thread.
+  void start();
+
+  /// Stops accepting and joins the server thread.
+  void stop();
+
+  /// The bound port (valid after construction).
+  std::uint16_t port() const { return port_; }
+
+  std::uint64_t queries_served() const { return served_.load(); }
+
+ private:
+  void serve_loop();
+  void serve_connection(int fd);
+
+  Repository* repository_;
+  ComputeCosts costs_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<int> conn_fd_{-1};
+  std::atomic<std::uint64_t> served_{0};
+};
+
+}  // namespace adr::net

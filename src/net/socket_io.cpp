@@ -1,0 +1,62 @@
+#include "net/socket_io.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace adr::net {
+namespace {
+
+bool read_exact(int fd, std::byte* out, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, out + got, n - got, 0);
+    if (r == 0) return false;  // peer closed
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool write_exact(int fd, const std::byte* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t r = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool read_frame(int fd, std::vector<std::byte>& payload) {
+  std::byte header[4];
+  if (!read_exact(fd, header, 4)) return false;
+  std::uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(header[i])) << (8 * i);
+  }
+  if (length > kMaxFrameBytes) return false;
+  payload.resize(length);
+  return length == 0 || read_exact(fd, payload.data(), length);
+}
+
+bool write_frame(int fd, const std::vector<std::byte>& payload) {
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  std::byte header[4];
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<std::byte>((length >> (8 * i)) & 0xff);
+  }
+  if (!write_exact(fd, header, 4)) return false;
+  return payload.empty() || write_exact(fd, payload.data(), payload.size());
+}
+
+}  // namespace adr::net

@@ -1,0 +1,23 @@
+// Length-prefixed frame I/O over a stream socket.
+//
+// Every protocol message travels as `u32 length | payload` (little
+// endian).  Frames are capped to keep a malformed peer from driving an
+// unbounded allocation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace adr::net {
+
+/// Largest accepted frame (1 GiB).
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 30;
+
+/// Reads one frame; returns false on orderly close or error.
+bool read_frame(int fd, std::vector<std::byte>& payload);
+
+/// Writes one frame; returns false on error.
+bool write_frame(int fd, const std::vector<std::byte>& payload);
+
+}  // namespace adr::net

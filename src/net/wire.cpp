@@ -1,0 +1,213 @@
+#include "net/wire.hpp"
+
+#include <cstring>
+
+namespace adr::net {
+namespace {
+
+constexpr std::uint8_t kQueryTag = 0x51;   // 'Q'
+constexpr std::uint8_t kResultTag = 0x52;  // 'R'
+constexpr std::uint8_t kVersion = 1;
+
+}  // namespace
+
+void Writer::u8(std::uint8_t v) { buffer_.push_back(static_cast<std::byte>(v)); }
+
+void Writer::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void Writer::f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void Writer::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  for (char c : s) buffer_.push_back(static_cast<std::byte>(c));
+}
+
+void Writer::bytes(std::span<const std::byte> b) {
+  u64(b.size());
+  buffer_.insert(buffer_.end(), b.begin(), b.end());
+}
+
+void Writer::rect(const Rect& r) {
+  u8(static_cast<std::uint8_t>(r.dims()));
+  for (int i = 0; i < r.dims(); ++i) f64(r.lo()[i]);
+  for (int i = 0; i < r.dims(); ++i) f64(r.hi()[i]);
+}
+
+void Reader::need(std::size_t n) const {
+  if (pos_ + n > data_.size()) throw WireError("wire: truncated frame");
+}
+
+std::uint8_t Reader::u8() {
+  need(1);
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint32_t Reader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data_[pos_++])) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data_[pos_++])) << (8 * i);
+  }
+  return v;
+}
+
+double Reader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string Reader::str() {
+  const std::uint32_t n = u32();
+  need(n);
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+std::vector<std::byte> Reader::bytes() {
+  const std::uint64_t n = u64();
+  need(n);
+  std::vector<std::byte> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                             data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+Rect Reader::rect() {
+  const int dims = u8();
+  if (dims < 0 || dims > kMaxDims) throw WireError("wire: bad rect dims");
+  if (dims == 0) return Rect();
+  Point lo(dims), hi(dims);
+  for (int i = 0; i < dims; ++i) lo[i] = f64();
+  for (int i = 0; i < dims; ++i) hi[i] = f64();
+  return Rect(lo, hi);
+}
+
+std::vector<std::byte> encode_query(const Query& query) {
+  Writer w;
+  w.u8(kQueryTag);
+  w.u8(kVersion);
+  w.u32(query.input_dataset);
+  w.u32(static_cast<std::uint32_t>(query.extra_input_datasets.size()));
+  for (std::uint32_t id : query.extra_input_datasets) w.u32(id);
+  w.u32(query.output_dataset);
+  w.rect(query.range);
+  w.str(query.map_function);
+  w.str(query.aggregation);
+  w.u8(static_cast<std::uint8_t>(query.strategy));
+  w.u8(static_cast<std::uint8_t>(query.tiling_order));
+  w.u8(static_cast<std::uint8_t>(query.delivery));
+  w.u8(query.write_output ? 1 : 0);
+  w.u64(query.seed);
+  return w.take();
+}
+
+Query decode_query(std::span<const std::byte> payload) {
+  Reader r(payload);
+  if (r.u8() != kQueryTag) throw WireError("wire: not a query frame");
+  if (r.u8() != kVersion) throw WireError("wire: unsupported protocol version");
+  Query q;
+  q.input_dataset = r.u32();
+  const std::uint32_t extras = r.u32();
+  if (extras > 1024) throw WireError("wire: implausible extra-input count");
+  for (std::uint32_t i = 0; i < extras; ++i) q.extra_input_datasets.push_back(r.u32());
+  q.output_dataset = r.u32();
+  q.range = r.rect();
+  q.map_function = r.str();
+  q.aggregation = r.str();
+  q.strategy = static_cast<StrategyKind>(r.u8());
+  q.tiling_order = static_cast<TilingOrder>(r.u8());
+  q.delivery = static_cast<OutputDelivery>(r.u8());
+  q.write_output = r.u8() != 0;
+  q.seed = r.u64();
+  if (!r.done()) throw WireError("wire: trailing bytes after query");
+  return q;
+}
+
+WireResult to_wire_result(const QueryResult& result) {
+  WireResult w;
+  w.strategy = result.strategy;
+  w.tiles = result.tiles;
+  w.ghost_chunks = result.ghost_chunks;
+  w.chunk_reads = result.chunk_reads;
+  w.total_s = result.stats.total_s;
+  w.bytes_communicated = result.stats.total_bytes_sent();
+  w.outputs = result.outputs;
+  return w;
+}
+
+std::vector<std::byte> encode_result(const WireResult& result) {
+  Writer w;
+  w.u8(kResultTag);
+  w.u8(kVersion);
+  w.u8(result.ok ? 1 : 0);
+  w.str(result.error);
+  w.u8(static_cast<std::uint8_t>(result.strategy));
+  w.u32(static_cast<std::uint32_t>(result.tiles));
+  w.u64(result.ghost_chunks);
+  w.u64(result.chunk_reads);
+  w.f64(result.total_s);
+  w.u64(result.bytes_communicated);
+  w.u32(static_cast<std::uint32_t>(result.outputs.size()));
+  for (const Chunk& chunk : result.outputs) {
+    w.u32(chunk.meta().id.dataset);
+    w.u32(chunk.meta().id.index);
+    w.u64(chunk.meta().bytes);
+    w.rect(chunk.meta().mbr);
+    w.bytes(chunk.payload());
+  }
+  return w.take();
+}
+
+WireResult decode_result(std::span<const std::byte> payload) {
+  Reader r(payload);
+  if (r.u8() != kResultTag) throw WireError("wire: not a result frame");
+  if (r.u8() != kVersion) throw WireError("wire: unsupported protocol version");
+  WireResult out;
+  out.ok = r.u8() != 0;
+  out.error = r.str();
+  out.strategy = static_cast<StrategyKind>(r.u8());
+  out.tiles = static_cast<int>(r.u32());
+  out.ghost_chunks = r.u64();
+  out.chunk_reads = r.u64();
+  out.total_s = r.f64();
+  out.bytes_communicated = r.u64();
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ChunkMeta meta;
+    meta.id.dataset = r.u32();
+    meta.id.index = r.u32();
+    meta.bytes = r.u64();
+    meta.mbr = r.rect();
+    out.outputs.emplace_back(meta, r.bytes());
+  }
+  if (!r.done()) throw WireError("wire: trailing bytes after result");
+  return out;
+}
+
+}  // namespace adr::net

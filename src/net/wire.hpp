@@ -1,0 +1,93 @@
+// Wire format for the client/front-end socket protocol.
+//
+// The paper's front end relays queries from sequential clients over a
+// socket interface and returns output products the same way.  This is a
+// little-endian, length-prefixed binary encoding of Query and of a
+// client-facing result (summary + delivered output chunks).
+//
+// Frame layout on the socket (see server.hpp / client.hpp):
+//   u32 payload_length | payload
+// where payload is an encode_query() or encode_result() body.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/frontend.hpp"
+#include "core/query.hpp"
+
+namespace adr::net {
+
+/// Thrown on malformed frames.
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The client-facing view of a query result.
+struct WireResult {
+  bool ok = true;
+  std::string error;  // set when !ok
+
+  StrategyKind strategy = StrategyKind::kFRA;
+  int tiles = 0;
+  std::uint64_t ghost_chunks = 0;
+  std::uint64_t chunk_reads = 0;
+  double total_s = 0.0;
+  std::uint64_t bytes_communicated = 0;
+  std::vector<Chunk> outputs;
+};
+
+/// Builds the client view from a repository result.
+WireResult to_wire_result(const QueryResult& result);
+
+std::vector<std::byte> encode_query(const Query& query);
+Query decode_query(std::span<const std::byte> payload);
+
+std::vector<std::byte> encode_result(const WireResult& result);
+WireResult decode_result(std::span<const std::byte> payload);
+
+// ---- primitive stream helpers (exposed for tests) ----
+
+class Writer {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);
+  void str(const std::string& s);
+  void bytes(std::span<const std::byte> b);
+  void rect(const Rect& r);
+
+  std::vector<std::byte> take() { return std::move(buffer_); }
+
+ private:
+  std::vector<std::byte> buffer_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  std::string str();
+  std::vector<std::byte> bytes();
+  Rect rect();
+
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t n) const;
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace adr::net

@@ -1,0 +1,3 @@
+#include "runtime/executor.hpp"
+
+// Executor is an interface; this TU anchors its vtable-adjacent pieces.

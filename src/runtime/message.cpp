@@ -1,0 +1,3 @@
+#include "runtime/message.hpp"
+
+// Message is a plain aggregate; this TU exists to anchor the header.

@@ -1,0 +1,177 @@
+#include "runtime/thread_executor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <stdexcept>
+
+namespace adr {
+
+ThreadExecutor::ThreadExecutor(int num_nodes, int disks_per_node, ChunkStore* store)
+    : disks_per_node_(disks_per_node), store_(store) {
+  assert(num_nodes >= 1);
+  assert(disks_per_node >= 1);
+  if (store_ != nullptr && store_->num_disks() != num_nodes * disks_per_node) {
+    throw std::invalid_argument("ThreadExecutor: store disk count mismatch");
+  }
+  epoch_ = std::chrono::steady_clock::now();
+  workers_.reserve(static_cast<size_t>(num_nodes));
+  for (int n = 0; n < num_nodes; ++n) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  for (int n = 0; n < num_nodes; ++n) {
+    workers_[static_cast<size_t>(n)]->thread =
+        std::thread([this, n]() { worker_loop(n); });
+  }
+}
+
+ThreadExecutor::~ThreadExecutor() {
+  for (auto& w : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(w->mutex);
+      w->stop = true;
+    }
+    w->cv.notify_all();
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+void ThreadExecutor::worker_loop(int node) {
+  Worker& w = *workers_[static_cast<size_t>(node)];
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(w.mutex);
+      w.cv.wait(lock, [&w]() { return w.stop || !w.queue.empty(); });
+      if (w.queue.empty()) return;  // stop requested and drained
+      task = std::move(w.queue.front());
+      w.queue.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadExecutor::post(int node, Task task) {
+  assert(node >= 0 && node < num_nodes());
+  Worker& w = *workers_[static_cast<size_t>(node)];
+  {
+    std::lock_guard<std::mutex> lock(w.mutex);
+    w.queue.push_back(std::move(task));
+  }
+  w.cv.notify_one();
+}
+
+void ThreadExecutor::read(int node, int global_disk, ChunkId id, std::uint64_t bytes,
+                          ReadCallback done) {
+  (void)bytes;
+  assert(node_of_disk(global_disk) == node);
+  ChunkStore* store = store_;
+  post(node, [store, global_disk, id, done = std::move(done)]() {
+    if (store != nullptr) {
+      done(store->get(global_disk, id));
+    } else {
+      done(std::nullopt);
+    }
+  });
+}
+
+void ThreadExecutor::write(int node, int global_disk, Chunk chunk, Task done) {
+  assert(node_of_disk(global_disk) == node);
+  (void)global_disk;
+  ChunkStore* store = store_;
+  post(node, [store, chunk = std::move(chunk), done = std::move(done)]() mutable {
+    if (store != nullptr) store->put(std::move(chunk));
+    done();
+  });
+}
+
+void ThreadExecutor::send(Message msg) {
+  assert(handler_ != nullptr);
+  const int dst = msg.dst;
+  // Capture the handler by reference to the member: it is set once before
+  // execution starts and never mutated afterwards.
+  post(dst, [this, msg = std::move(msg)]() { handler_(msg); });
+}
+
+void ThreadExecutor::set_message_handler(MessageHandler handler) {
+  handler_ = std::move(handler);
+}
+
+void ThreadExecutor::compute(int node, double cost_seconds, Task done) {
+  (void)cost_seconds;  // real work costs real time on this executor
+  post(node, std::move(done));
+}
+
+void ThreadExecutor::barrier(int node, Task done) {
+  std::vector<std::pair<int, Task>> release;
+  {
+    std::lock_guard<std::mutex> lock(barrier_mutex_);
+    barrier_waiters_.emplace_back(node, std::move(done));
+    if (static_cast<int>(barrier_waiters_.size()) == num_nodes()) {
+      release = std::move(barrier_waiters_);
+      barrier_waiters_.clear();
+    }
+  }
+  for (auto& [n, task] : release) post(n, std::move(task));
+}
+
+void ThreadExecutor::window_sync(int node, int epoch, int lag, Task done) {
+  std::vector<WindowWaiter> ready;
+  {
+    std::lock_guard<std::mutex> lock(window_mutex_);
+    if (epoch_completed_.empty()) {
+      epoch_completed_.assign(static_cast<size_t>(num_nodes()), -1);
+    }
+    epoch_completed_[static_cast<size_t>(node)] =
+        std::max(epoch_completed_[static_cast<size_t>(node)], epoch);
+    window_waiters_.push_back(WindowWaiter{node, epoch, lag, std::move(done)});
+    const int min_done =
+        *std::min_element(epoch_completed_.begin(), epoch_completed_.end());
+    std::erase_if(window_waiters_, [min_done, &ready](WindowWaiter& w) {
+      if (w.epoch - w.lag <= min_done) {
+        ready.push_back(std::move(w));
+        return true;
+      }
+      return false;
+    });
+  }
+  for (WindowWaiter& w : ready) post(w.node, std::move(w.task));
+}
+
+void ThreadExecutor::finish(int node) {
+  (void)node;
+  {
+    std::lock_guard<std::mutex> lock(done_mutex_);
+    ++finished_;
+  }
+  done_cv_.notify_all();
+}
+
+double ThreadExecutor::run(std::function<void(int)> entry) {
+  {
+    std::lock_guard<std::mutex> lock(done_mutex_);
+    finished_ = 0;
+  }
+  {
+    std::lock_guard<std::mutex> lock(window_mutex_);
+    epoch_completed_.clear();
+  }
+  const auto start = std::chrono::steady_clock::now();
+  for (int n = 0; n < num_nodes(); ++n) {
+    post(n, [entry, n]() { entry(n); });
+  }
+  {
+    std::unique_lock<std::mutex> lock(done_mutex_);
+    done_cv_.wait(lock, [this]() { return finished_ == num_nodes(); });
+  }
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+double ThreadExecutor::now_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
+}
+
+}  // namespace adr

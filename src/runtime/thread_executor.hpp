@@ -1,0 +1,87 @@
+// Thread-backed executor.
+//
+// One real thread per simulated back-end node, each draining a FIFO task
+// queue; send() enqueues delivery on the destination node's queue, so the
+// distributed-memory discipline (no shared state, message passing only)
+// is preserved even though everything lives in one process.  Used to
+// validate the engine and strategies with real payloads and real
+// aggregation arithmetic.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/executor.hpp"
+#include "storage/disk_store.hpp"
+
+namespace adr {
+
+class ThreadExecutor : public Executor {
+ public:
+  /// `num_nodes` worker threads over a disk farm of `disks_per_node *
+  /// num_nodes` disks stored in `store` (must be thread-safe; both
+  /// provided stores are).
+  ThreadExecutor(int num_nodes, int disks_per_node, ChunkStore* store);
+  ~ThreadExecutor() override;
+
+  ThreadExecutor(const ThreadExecutor&) = delete;
+  ThreadExecutor& operator=(const ThreadExecutor&) = delete;
+
+  int num_nodes() const override { return static_cast<int>(workers_.size()); }
+  void post(int node, Task task) override;
+  void read(int node, int global_disk, ChunkId id, std::uint64_t bytes,
+            ReadCallback done) override;
+  void write(int node, int global_disk, Chunk chunk, Task done) override;
+  void send(Message msg) override;
+  void set_message_handler(MessageHandler handler) override;
+  void compute(int node, double cost_seconds, Task done) override;
+  void barrier(int node, Task done) override;
+  void window_sync(int node, int epoch, int lag, Task done) override;
+  void finish(int node) override;
+  double run(std::function<void(int)> entry) override;
+  double now_seconds() const override;
+
+  int node_of_disk(int global_disk) const { return global_disk / disks_per_node_; }
+
+ private:
+  struct Worker {
+    std::thread thread;
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Task> queue;
+    bool stop = false;
+  };
+
+  void worker_loop(int node);
+
+  int disks_per_node_;
+  ChunkStore* store_;
+  MessageHandler handler_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  std::mutex barrier_mutex_;
+  std::vector<std::pair<int, Task>> barrier_waiters_;
+
+  struct WindowWaiter {
+    int node;
+    int epoch;
+    int lag;
+    Task task;
+  };
+  std::mutex window_mutex_;
+  std::vector<int> epoch_completed_;
+  std::vector<WindowWaiter> window_waiters_;
+
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+  int finished_ = 0;
+
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace adr

@@ -1,0 +1,47 @@
+#include "sim/cluster.hpp"
+
+#include <cassert>
+
+namespace adr::sim {
+
+ClusterConfig ibm_sp_profile(int nodes) {
+  ClusterConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.disks_per_node = 1;
+  // 256 MB thin nodes; a fraction is usable for accumulator chunks once the
+  // OS, code, and I/O buffers are accounted for.
+  cfg.accumulator_memory_bytes = 32ull * 1024 * 1024;
+  // Late-90s SSA/fast-wide SCSI disk on the SP's thin nodes.
+  cfg.disk.seek = from_millis(10.0);
+  cfg.disk.bandwidth_bytes_per_sec = 20.0 * 1024 * 1024;
+  // High Performance Switch: 110 MB/s peak per node.  The messaging
+  // software is CPU-mediated: packing/unpacking costs CPU cycles at
+  // roughly memcpy speed on the thin nodes.
+  cfg.link.latency = from_micros(40.0);
+  cfg.link.bandwidth_bytes_per_sec = 110.0 * 1024 * 1024;
+  cfg.link.cpu_overhead_bytes_per_sec = 100.0 * 1024 * 1024;
+  cfg.cpu_speed = 1.0;
+  return cfg;
+}
+
+SimNode::SimNode(Simulation* sim, int id, const ClusterConfig& cfg)
+    : id_(id),
+      cpu_(sim, "node" + std::to_string(id) + ".cpu"),
+      nic_(sim, "node" + std::to_string(id) + ".nic", cfg.link) {
+  disks_.reserve(static_cast<size_t>(cfg.disks_per_node));
+  for (int d = 0; d < cfg.disks_per_node; ++d) {
+    disks_.push_back(std::make_unique<DiskModel>(
+        sim, "node" + std::to_string(id) + ".disk" + std::to_string(d), cfg.disk));
+  }
+}
+
+SimCluster::SimCluster(const ClusterConfig& cfg) : cfg_(cfg) {
+  assert(cfg.num_nodes >= 1);
+  assert(cfg.disks_per_node >= 1);
+  nodes_.reserve(static_cast<size_t>(cfg.num_nodes));
+  for (int i = 0; i < cfg.num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<SimNode>(&sim_, i, cfg));
+  }
+}
+
+}  // namespace adr::sim

@@ -1,0 +1,20 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <memory>
+
+namespace adr::sim {
+
+void EventQueue::push(SimTime at, Action action) {
+  heap_.push(Event{at, next_seq_++, std::make_shared<Action>(std::move(action))});
+}
+
+EventQueue::Action EventQueue::pop(SimTime* at) {
+  assert(!heap_.empty());
+  Event ev = heap_.top();
+  heap_.pop();
+  if (at != nullptr) *at = ev.at;
+  return std::move(*ev.action);
+}
+
+}  // namespace adr::sim

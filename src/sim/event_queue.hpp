@@ -1,0 +1,53 @@
+// Priority event queue for the discrete-event engine.
+//
+// Events at equal timestamps fire in insertion order (a monotonically
+// increasing sequence number breaks ties), which keeps simulations
+// deterministic regardless of heap internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/sim_time.hpp"
+
+namespace adr::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` to fire at absolute time `at`.
+  void push(SimTime at, Action action);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event; undefined when empty.
+  SimTime next_time() const { return heap_.top().at; }
+
+  /// Removes and returns the earliest event's action.
+  Action pop(SimTime* at = nullptr);
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    // Shared_ptr keeps Event copyable for priority_queue while allowing
+    // move-only callables inside std::function payloads.
+    std::shared_ptr<Action> action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace adr::sim

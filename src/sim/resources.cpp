@@ -1,0 +1,74 @@
+#include "sim/resources.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace adr::sim {
+
+FcfsResource::FcfsResource(Simulation* sim, std::string name)
+    : sim_(sim), name_(std::move(name)) {
+  assert(sim_ != nullptr);
+}
+
+void FcfsResource::acquire(SimDuration service, std::function<void()> done) {
+  assert(service >= 0);
+  const SimTime start = std::max(sim_->now(), free_at_);
+  free_at_ = start + service;
+  busy_ += service;
+  ++requests_;
+  sim_->schedule_at(free_at_, std::move(done));
+}
+
+SimTime FcfsResource::next_free() const { return std::max(sim_->now(), free_at_); }
+
+double FcfsResource::utilization(SimTime horizon) const {
+  if (horizon <= 0) return 0.0;
+  return static_cast<double>(busy_) / static_cast<double>(horizon);
+}
+
+DiskModel::DiskModel(Simulation* sim, std::string name, DiskParams params)
+    : server_(sim, std::move(name)), params_(params) {}
+
+SimDuration DiskModel::service_time(std::uint64_t bytes) const {
+  const double xfer = static_cast<double>(bytes) / params_.bandwidth_bytes_per_sec;
+  return params_.seek + from_seconds(xfer);
+}
+
+void DiskModel::read(std::uint64_t bytes, std::function<void()> done) {
+  bytes_read_ += bytes;
+  server_.acquire(service_time(bytes), std::move(done));
+}
+
+void DiskModel::write(std::uint64_t bytes, std::function<void()> done) {
+  bytes_written_ += bytes;
+  server_.acquire(service_time(bytes), std::move(done));
+}
+
+NicModel::NicModel(Simulation* sim, std::string name, LinkParams params)
+    : sim_(sim),
+      egress_(sim, name + ".out"),
+      ingress_(sim, name + ".in"),
+      params_(params) {}
+
+SimDuration NicModel::wire_time(std::uint64_t bytes) const {
+  const double xfer = static_cast<double>(bytes) / params_.bandwidth_bytes_per_sec;
+  return from_seconds(xfer);
+}
+
+void NicModel::send(NicModel& dst, std::uint64_t bytes, std::function<void()> delivered) {
+  bytes_sent_ += bytes;
+  const SimDuration serialize = wire_time(bytes);
+  NicModel* receiver = &dst;
+  Simulation* sim = sim_;
+  const SimDuration latency = params_.latency;
+  egress_.acquire(serialize, [sim, receiver, bytes, latency,
+                              delivered = std::move(delivered)]() mutable {
+    sim->schedule(latency, [receiver, bytes, delivered = std::move(delivered)]() mutable {
+      receiver->bytes_received_ += bytes;
+      receiver->ingress_.acquire(receiver->wire_time(bytes), std::move(delivered));
+    });
+  });
+}
+
+}  // namespace adr::sim

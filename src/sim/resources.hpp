@@ -1,0 +1,124 @@
+// Hardware resource models for the simulated cluster.
+//
+// Every physical resource of the paper's IBM SP testbed is modelled as a
+// serial FCFS server: a node's CPU, each disk, and each direction of a
+// node's network link.  Requests occupy the server for a service time and
+// complete in submission order, so concurrent operations queue exactly the
+// way ADR's operation queues describe.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/sim_time.hpp"
+#include "sim/simulation.hpp"
+
+namespace adr::sim {
+
+/// A serial first-come-first-served resource.
+///
+/// `acquire(service, done)` enqueues a request that holds the resource for
+/// `service` virtual time and then invokes `done`.  Total busy time and
+/// request counts are tracked for utilization reports.
+class FcfsResource {
+ public:
+  FcfsResource(Simulation* sim, std::string name);
+
+  /// Enqueues a request; `done` fires when the request completes.
+  void acquire(SimDuration service, std::function<void()> done);
+
+  /// Time at which the resource next becomes free (>= now).
+  SimTime next_free() const;
+
+  SimDuration busy_time() const { return busy_; }
+  std::uint64_t requests() const { return requests_; }
+  const std::string& name() const { return name_; }
+
+  /// Fraction of [0, horizon] the resource was busy.
+  double utilization(SimTime horizon) const;
+
+ private:
+  Simulation* sim_;
+  std::string name_;
+  SimTime free_at_ = 0;
+  SimDuration busy_ = 0;
+  std::uint64_t requests_ = 0;
+};
+
+/// Disk performance parameters.
+struct DiskParams {
+  /// Average positioning overhead charged per chunk-sized request.
+  SimDuration seek = from_millis(10.0);
+  /// Sustained transfer bandwidth in bytes/second.
+  double bandwidth_bytes_per_sec = 10.0 * 1024 * 1024;
+};
+
+/// A disk: a FCFS server whose service time is seek + bytes/bandwidth.
+class DiskModel {
+ public:
+  DiskModel(Simulation* sim, std::string name, DiskParams params);
+
+  /// Asynchronously reads `bytes`; `done` fires at transfer completion.
+  void read(std::uint64_t bytes, std::function<void()> done);
+
+  /// Asynchronously writes `bytes`; `done` fires at transfer completion.
+  void write(std::uint64_t bytes, std::function<void()> done);
+
+  SimDuration service_time(std::uint64_t bytes) const;
+
+  std::uint64_t bytes_read() const { return bytes_read_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  FcfsResource& server() { return server_; }
+
+ private:
+  FcfsResource server_;
+  DiskParams params_;
+  std::uint64_t bytes_read_ = 0;
+  std::uint64_t bytes_written_ = 0;
+};
+
+/// Network performance parameters (per-node full-duplex link into a
+/// non-blocking switch, as on the SP's High Performance Switch).
+struct LinkParams {
+  /// One-way message latency.
+  SimDuration latency = from_micros(40.0);
+  /// Per-direction link bandwidth in bytes/second.
+  double bandwidth_bytes_per_sec = 110.0 * 1024 * 1024;
+  /// CPU throughput of the messaging software: packing/unpacking each
+  /// byte costs CPU time at this rate on the endpoint (message passing
+  /// on the SP was CPU-mediated).  0 = free.  Charged by the query
+  /// execution engine, not the NIC model.
+  double cpu_overhead_bytes_per_sec = 0.0;
+};
+
+/// One node's network interface: an egress server and an ingress server.
+///
+/// A message from A to B occupies A's egress for bytes/bandwidth, travels
+/// for `latency`, then occupies B's ingress for bytes/bandwidth; this
+/// models a non-blocking switch fabric where only the endpoints contend.
+class NicModel {
+ public:
+  NicModel(Simulation* sim, std::string name, LinkParams params);
+
+  /// Called on the *sender's* NIC: serializes out, then hands off to the
+  /// receiver NIC; `delivered` fires on the receiving side.
+  void send(NicModel& dst, std::uint64_t bytes, std::function<void()> delivered);
+
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
+  FcfsResource& egress() { return egress_; }
+  FcfsResource& ingress() { return ingress_; }
+
+ private:
+  SimDuration wire_time(std::uint64_t bytes) const;
+
+  Simulation* sim_;
+  FcfsResource egress_;
+  FcfsResource ingress_;
+  LinkParams params_;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+};
+
+}  // namespace adr::sim

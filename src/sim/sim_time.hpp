@@ -1,0 +1,32 @@
+// Simulated time.
+//
+// Virtual time is kept as integer nanoseconds so that event ordering is
+// exact and runs are bit-reproducible; helpers convert to/from the floating
+// point seconds used by cost models and reports.
+#pragma once
+
+#include <cstdint>
+
+namespace adr::sim {
+
+/// Virtual time in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// A span of virtual time in nanoseconds.
+using SimDuration = std::int64_t;
+
+inline constexpr SimDuration kNanosPerSecond = 1'000'000'000;
+
+constexpr SimDuration from_seconds(double s) {
+  return static_cast<SimDuration>(s * static_cast<double>(kNanosPerSecond) + 0.5);
+}
+
+constexpr SimDuration from_millis(double ms) { return from_seconds(ms * 1e-3); }
+
+constexpr SimDuration from_micros(double us) { return from_seconds(us * 1e-6); }
+
+constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kNanosPerSecond);
+}
+
+}  // namespace adr::sim

@@ -1,0 +1,53 @@
+#include "sim/simulation.hpp"
+
+#include <cassert>
+
+namespace adr::sim {
+
+void Simulation::schedule(SimDuration delay, Action action) {
+  assert(delay >= 0);
+  queue_.push(now_ + delay, std::move(action));
+}
+
+void Simulation::schedule_at(SimTime at, Action action) {
+  assert(at >= now_);
+  queue_.push(at, std::move(action));
+}
+
+SimTime Simulation::run() {
+  while (!queue_.empty()) {
+    SimTime at;
+    Action action = queue_.pop(&at);
+    now_ = at;
+    ++executed_;
+    action();
+  }
+  return now_;
+}
+
+SimTime Simulation::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    SimTime at;
+    Action action = queue_.pop(&at);
+    now_ = at;
+    ++executed_;
+    action();
+  }
+  if (queue_.empty() || now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+std::size_t Simulation::step(std::size_t n) {
+  std::size_t done = 0;
+  while (done < n && !queue_.empty()) {
+    SimTime at;
+    Action action = queue_.pop(&at);
+    now_ = at;
+    ++executed_;
+    ++done;
+    action();
+  }
+  return done;
+}
+
+}  // namespace adr::sim

@@ -1,0 +1,50 @@
+// Discrete-event simulation engine.
+//
+// A single-threaded event loop: callbacks schedule further callbacks at
+// future virtual times; run() drains the queue, advancing the clock to each
+// event.  All hardware models (disks, links, CPUs) are built on top of this
+// loop, mirroring ADR's own event-driven query execution service ("explicit
+// queues for each kind of operation ... polled ... new asynchronous
+// operations initiated").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/sim_time.hpp"
+
+namespace adr::sim {
+
+class Simulation {
+ public:
+  using Action = EventQueue::Action;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `action` after `delay` (>= 0) of virtual time.
+  void schedule(SimDuration delay, Action action);
+
+  /// Schedules `action` at absolute virtual time `at` (>= now()).
+  void schedule_at(SimTime at, Action action);
+
+  /// Runs until no events remain.  Returns the final clock value.
+  SimTime run();
+
+  /// Runs until the queue is empty or the clock would pass `deadline`.
+  /// Events scheduled exactly at `deadline` are executed.
+  SimTime run_until(SimTime deadline);
+
+  /// Executes at most `n` events (for debugging/stepping).
+  std::size_t step(std::size_t n = 1);
+
+  std::uint64_t events_executed() const { return executed_; }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace adr::sim

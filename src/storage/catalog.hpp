@@ -1,0 +1,38 @@
+// Dataset catalog persistence.
+//
+// Serializes dataset metadata (attribute-space extents, chunk MBRs,
+// sizes and placements) to a plain-text catalog file, so a repository
+// built over a FileChunkStore survives the process: payloads live in the
+// per-disk data files, the catalog records where everything is.
+//
+// Format (line oriented, '#' comments allowed):
+//
+//   adr-catalog 1
+//   dataset <id> <dims> <lo...> <hi...> <nchunks> <name>
+//   chunk <index> <disk> <bytes> <lo...> <hi...>
+//   ...
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <vector>
+
+#include "storage/dataset.hpp"
+
+namespace adr {
+
+/// Writes all datasets to `os`.  Indices are not serialized (they are
+/// rebuilt on load).
+void save_catalog(std::ostream& os, const std::vector<const Dataset*>& datasets);
+
+/// Convenience: writes to a file; throws std::runtime_error on I/O error.
+void save_catalog_file(const std::filesystem::path& path,
+                       const std::vector<const Dataset*>& datasets);
+
+/// Parses a catalog and rebuilds every dataset (with a fresh default
+/// index).  Throws std::runtime_error on malformed input.
+std::vector<Dataset> load_catalog(std::istream& is);
+
+std::vector<Dataset> load_catalog_file(const std::filesystem::path& path);
+
+}  // namespace adr

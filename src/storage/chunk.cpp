@@ -1,0 +1,13 @@
+#include "storage/chunk.hpp"
+
+#include <cstring>
+
+namespace adr {
+
+std::vector<std::byte> payload_from_doubles(const std::vector<double>& values) {
+  std::vector<std::byte> bytes(values.size() * sizeof(double));
+  std::memcpy(bytes.data(), values.data(), bytes.size());
+  return bytes;
+}
+
+}  // namespace adr

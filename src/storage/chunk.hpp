@@ -1,0 +1,85 @@
+// Chunks: ADR's unit of storage, I/O and communication.
+//
+// Every dataset is partitioned into chunks; each chunk carries the minimum
+// bounding rectangle (MBR) of its items in the dataset's attribute space,
+// a placement (which disk of the farm holds it), and optionally a payload.
+// Payloads are real bytes in thread-executor runs; simulation runs may use
+// metadata-only chunks whose size still drives I/O and network costs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/geometry.hpp"
+
+namespace adr {
+
+/// Identifies a chunk within the repository: (dataset id, chunk index).
+struct ChunkId {
+  std::uint32_t dataset = 0;
+  std::uint32_t index = 0;
+
+  bool operator==(const ChunkId&) const = default;
+  auto operator<=>(const ChunkId&) const = default;
+
+  std::string to_string() const {
+    return "d" + std::to_string(dataset) + ":c" + std::to_string(index);
+  }
+};
+
+struct ChunkIdHash {
+  std::size_t operator()(const ChunkId& id) const {
+    return std::hash<std::uint64_t>{}((static_cast<std::uint64_t>(id.dataset) << 32) |
+                                      id.index);
+  }
+};
+
+/// Chunk metadata: everything the planner and indexing service need.
+struct ChunkMeta {
+  ChunkId id;
+  /// MBR of the chunk's items in the dataset's attribute space.
+  Rect mbr;
+  /// On-disk size in bytes (drives I/O and communication costs).
+  std::uint64_t bytes = 0;
+  /// Global disk index (node-major across the disk farm); -1 = unplaced.
+  int disk = -1;
+};
+
+/// A chunk with (optional) payload.
+class Chunk {
+ public:
+  Chunk() = default;
+  explicit Chunk(ChunkMeta meta) : meta_(std::move(meta)) {}
+  Chunk(ChunkMeta meta, std::vector<std::byte> payload)
+      : meta_(std::move(meta)), payload_(std::move(payload)) {}
+
+  const ChunkMeta& meta() const { return meta_; }
+  ChunkMeta& meta() { return meta_; }
+
+  bool has_payload() const { return !payload_.empty(); }
+  const std::vector<std::byte>& payload() const { return payload_; }
+  std::vector<std::byte>& payload() { return payload_; }
+
+  /// Reinterprets the payload as an array of T (size must divide evenly).
+  template <typename T>
+  std::span<const T> as() const {
+    return {reinterpret_cast<const T*>(payload_.data()), payload_.size() / sizeof(T)};
+  }
+
+  template <typename T>
+  std::span<T> as() {
+    return {reinterpret_cast<T*>(payload_.data()), payload_.size() / sizeof(T)};
+  }
+
+ private:
+  ChunkMeta meta_;
+  std::vector<std::byte> payload_;
+};
+
+/// Builds a payload from a vector of doubles (the emulators' item type).
+std::vector<std::byte> payload_from_doubles(const std::vector<double>& values);
+
+}  // namespace adr

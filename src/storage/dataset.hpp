@@ -1,0 +1,65 @@
+// Dataset catalog (ADR's dataset service).
+//
+// A Dataset is the metadata for one stored multi-dimensional dataset: its
+// attribute-space extent, the metadata of every chunk (MBR, size,
+// placement), and the spatial index built over the chunk MBRs.  Payloads
+// live in a ChunkStore; the Dataset only knows where they are.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "storage/chunk.hpp"
+#include "storage/spatial_index.hpp"
+
+namespace adr {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::uint32_t id, std::string name, Rect domain, std::vector<ChunkMeta> chunks);
+
+  std::uint32_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const Rect& domain() const { return domain_; }
+
+  std::size_t num_chunks() const { return chunks_.size(); }
+  const std::vector<ChunkMeta>& chunks() const { return chunks_; }
+  const ChunkMeta& chunk(std::uint32_t index) const {
+    return chunks_[static_cast<std::size_t>(index)];
+  }
+
+  std::uint64_t total_bytes() const { return total_bytes_; }
+
+  /// Builds (or rebuilds) the default index (an R-tree) over chunk MBRs.
+  void build_index();
+
+  /// Builds with a caller-supplied index (the indexing service's
+  /// "user-provided indices").
+  void build_index(std::unique_ptr<SpatialIndex> index);
+
+  bool has_index() const { return index_ != nullptr; }
+  const SpatialIndex* index() const { return index_.get(); }
+
+  /// Chunk indices whose MBR intersects `range`; requires build_index().
+  std::vector<std::uint32_t> find_chunks(const Rect& range) const;
+
+  /// Updates placement from a declustering assignment (global disk ids).
+  void set_placement(const std::vector<int>& disk_of_chunk);
+
+  /// Average chunk size in bytes (0 when empty).
+  double mean_chunk_bytes() const;
+
+ private:
+  std::uint32_t id_ = 0;
+  std::string name_;
+  Rect domain_;
+  std::vector<ChunkMeta> chunks_;
+  std::uint64_t total_bytes_ = 0;
+  std::unique_ptr<SpatialIndex> index_;
+};
+
+}  // namespace adr

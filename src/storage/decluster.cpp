@@ -1,0 +1,102 @@
+#include "storage/decluster.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "common/hilbert.hpp"
+#include "common/random.hpp"
+
+namespace adr {
+
+std::string to_string(DeclusterMethod m) {
+  switch (m) {
+    case DeclusterMethod::kHilbert:
+      return "hilbert";
+    case DeclusterMethod::kRoundRobin:
+      return "round-robin";
+    case DeclusterMethod::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+std::vector<int> decluster(const std::vector<ChunkMeta>& chunks, const Rect& domain,
+                           const DeclusterOptions& options) {
+  assert(options.num_disks >= 1);
+  std::vector<int> assignment(chunks.size(), 0);
+  switch (options.method) {
+    case DeclusterMethod::kRoundRobin: {
+      for (std::size_t i = 0; i < chunks.size(); ++i) {
+        assignment[i] = static_cast<int>(i % static_cast<std::size_t>(options.num_disks));
+      }
+      break;
+    }
+    case DeclusterMethod::kRandom: {
+      Rng rng(options.seed);
+      for (std::size_t i = 0; i < chunks.size(); ++i) {
+        assignment[i] = static_cast<int>(rng.uniform_int(0, options.num_disks - 1));
+      }
+      break;
+    }
+    case DeclusterMethod::kHilbert: {
+      // Order chunks along the Hilbert curve through their MBR midpoints,
+      // then deal to disks round-robin in that order.
+      std::vector<std::size_t> order(chunks.size());
+      std::iota(order.begin(), order.end(), 0u);
+      std::vector<std::uint64_t> keys(chunks.size());
+      for (std::size_t i = 0; i < chunks.size(); ++i) {
+        keys[i] = hilbert_index_in_domain(chunks[i].mbr.center(), domain,
+                                          options.hilbert_bits);
+      }
+      std::stable_sort(order.begin(), order.end(),
+                       [&keys](std::size_t a, std::size_t b) { return keys[a] < keys[b]; });
+      for (std::size_t pos = 0; pos < order.size(); ++pos) {
+        assignment[order[pos]] =
+            static_cast<int>(pos % static_cast<std::size_t>(options.num_disks));
+      }
+      break;
+    }
+  }
+  return assignment;
+}
+
+double decluster_quality(const std::vector<ChunkMeta>& chunks,
+                         const std::vector<int>& assignment, const Rect& domain,
+                         int num_disks, double query_extent_fraction, int probes,
+                         std::uint64_t seed) {
+  assert(chunks.size() == assignment.size());
+  assert(num_disks >= 1);
+  Rng rng(seed);
+  const int d = domain.dims();
+  double total_ratio = 0.0;
+  int counted = 0;
+  for (int probe = 0; probe < probes; ++probe) {
+    Point lo(d), hi(d);
+    for (int i = 0; i < d; ++i) {
+      const double ext = domain.extent(i) * query_extent_fraction;
+      const double start =
+          rng.uniform(domain.lo()[i], std::max(domain.lo()[i], domain.hi()[i] - ext));
+      lo[i] = start;
+      hi[i] = start + ext;
+    }
+    const Rect q(lo, hi);
+    std::vector<int> per_disk(static_cast<std::size_t>(num_disks), 0);
+    int selected = 0;
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      if (chunks[c].mbr.intersects(q)) {
+        ++per_disk[static_cast<std::size_t>(assignment[c])];
+        ++selected;
+      }
+    }
+    if (selected == 0) continue;
+    const int max_per_disk = *std::max_element(per_disk.begin(), per_disk.end());
+    const double ideal =
+        static_cast<double>(selected) / static_cast<double>(num_disks);
+    total_ratio += static_cast<double>(max_per_disk) / std::max(ideal, 1.0);
+    ++counted;
+  }
+  return counted > 0 ? total_ratio / counted : 0.0;
+}
+
+}  // namespace adr

@@ -1,0 +1,53 @@
+// Declustering: assigning chunks to the disks of the farm.
+//
+// ADR distributes a dataset's chunks across all disks so a range query can
+// be served by many disks in parallel.  The paper uses a Hilbert-curve
+// based declustering algorithm (Faloutsos & Bhagwat; Moon & Saltz): chunks
+// are ordered by the Hilbert index of their MBR midpoint and dealt to
+// disks round-robin, which places spatially adjacent chunks on distinct
+// disks.  Round-robin (in load order) and random assignment are provided
+// as baselines for the ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "storage/chunk.hpp"
+
+namespace adr {
+
+enum class DeclusterMethod {
+  kHilbert,     // paper's method
+  kRoundRobin,  // deal chunks to disks in input order
+  kRandom,      // uniform random disk per chunk
+};
+
+std::string to_string(DeclusterMethod m);
+
+struct DeclusterOptions {
+  DeclusterMethod method = DeclusterMethod::kHilbert;
+  int num_disks = 1;
+  /// Hilbert quantization bits per dimension.
+  int hilbert_bits = 16;
+  /// Seed for kRandom.
+  std::uint64_t seed = 1;
+};
+
+/// Computes a disk assignment (one global disk index per chunk).
+/// `domain` is the attribute-space bounding box used for Hilbert
+/// quantization; pass the dataset's full extent.
+std::vector<int> decluster(const std::vector<ChunkMeta>& chunks, const Rect& domain,
+                           const DeclusterOptions& options);
+
+/// Quality metric for a placement: for each of `probes` random square range
+/// queries with the given relative extent, counts the chunks selected per
+/// disk and returns the mean max/ideal ratio (1.0 = perfectly parallel
+/// retrieval, larger = hotspots).  Used by the declustering ablation.
+double decluster_quality(const std::vector<ChunkMeta>& chunks,
+                         const std::vector<int>& assignment, const Rect& domain,
+                         int num_disks, double query_extent_fraction, int probes,
+                         std::uint64_t seed);
+
+}  // namespace adr

@@ -1,0 +1,226 @@
+#include "storage/disk_store.hpp"
+
+#include <cassert>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace adr {
+
+MemoryChunkStore::MemoryChunkStore(int num_disks) : disks_(static_cast<size_t>(num_disks)) {
+  assert(num_disks >= 1);
+}
+
+void MemoryChunkStore::put(Chunk chunk) {
+  const int disk = chunk.meta().disk;
+  assert(disk >= 0 && disk < num_disks());
+  std::lock_guard<std::mutex> lock(mutex_);
+  Disk& d = disks_[static_cast<size_t>(disk)];
+  auto [it, inserted] = d.chunks.insert_or_assign(chunk.meta().id, std::move(chunk));
+  if (!inserted) {
+    // Replacement: adjust byte accounting below using the new value only;
+    // recompute lazily to keep the common path cheap.
+    d.bytes = 0;
+    for (const auto& [id, c] : d.chunks) d.bytes += c.meta().bytes;
+  } else {
+    d.bytes += it->second.meta().bytes;
+  }
+}
+
+std::optional<Chunk> MemoryChunkStore::get(int disk, ChunkId id) const {
+  assert(disk >= 0 && disk < num_disks());
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Disk& d = disks_[static_cast<size_t>(disk)];
+  auto it = d.chunks.find(id);
+  if (it == d.chunks.end()) return std::nullopt;
+  return it->second;
+}
+
+bool MemoryChunkStore::contains(int disk, ChunkId id) const {
+  assert(disk >= 0 && disk < num_disks());
+  std::lock_guard<std::mutex> lock(mutex_);
+  return disks_[static_cast<size_t>(disk)].chunks.contains(id);
+}
+
+bool MemoryChunkStore::erase(int disk, ChunkId id) {
+  assert(disk >= 0 && disk < num_disks());
+  std::lock_guard<std::mutex> lock(mutex_);
+  Disk& d = disks_[static_cast<size_t>(disk)];
+  auto it = d.chunks.find(id);
+  if (it == d.chunks.end()) return false;
+  d.bytes -= it->second.meta().bytes;
+  d.chunks.erase(it);
+  return true;
+}
+
+std::size_t MemoryChunkStore::chunk_count(int disk) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return disks_[static_cast<size_t>(disk)].chunks.size();
+}
+
+std::uint64_t MemoryChunkStore::bytes_on_disk(int disk) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return disks_[static_cast<size_t>(disk)].bytes;
+}
+
+FileChunkStore::FileChunkStore(std::filesystem::path dir, int num_disks,
+                               bool open_existing)
+    : dir_(std::move(dir)),
+      manifest_path_(dir_ / "manifest.txt"),
+      disks_(static_cast<size_t>(num_disks)) {
+  assert(num_disks >= 1);
+  std::filesystem::create_directories(dir_);
+  for (int k = 0; k < num_disks; ++k) {
+    Disk& d = disks_[static_cast<size_t>(k)];
+    d.path = dir_ / ("disk" + std::to_string(k) + ".dat");
+    if (!open_existing) {
+      // Truncate any stale file from a previous run.
+      std::ofstream(d.path, std::ios::binary | std::ios::trunc);
+    }
+  }
+  if (open_existing) {
+    replay_manifest();
+  } else {
+    std::ofstream(manifest_path_, std::ios::trunc);
+  }
+}
+
+void FileChunkStore::append_manifest(const std::string& line) {
+  std::ofstream f(manifest_path_, std::ios::app);
+  if (!f) throw std::runtime_error("FileChunkStore: cannot append manifest");
+  f << line << '\n';
+}
+
+void FileChunkStore::replay_manifest() {
+  std::ifstream f(manifest_path_);
+  if (!f) return;  // empty store
+  std::string line;
+  while (std::getline(f, line)) {
+    std::istringstream ls(line);
+    std::string op;
+    ls >> op;
+    if (op == "put") {
+      int disk = 0, dims = 0;
+      Entry e;
+      if (!(ls >> disk >> e.meta.id.dataset >> e.meta.id.index >> e.offset >>
+            e.stored_bytes >> e.meta.bytes >> dims)) {
+        throw std::runtime_error("FileChunkStore: bad manifest put line");
+      }
+      if (dims < 0 || dims > kMaxDims) {
+        throw std::runtime_error("FileChunkStore: bad manifest dims");
+      }
+      if (dims > 0) {
+        Point lo(dims), hi(dims);
+        for (int i = 0; i < dims; ++i) ls >> lo[i];
+        for (int i = 0; i < dims; ++i) ls >> hi[i];
+        if (!ls) throw std::runtime_error("FileChunkStore: bad manifest mbr");
+        e.meta.mbr = Rect(lo, hi);
+      }
+      e.meta.disk = disk;
+      if (disk < 0 || disk >= num_disks()) {
+        throw std::runtime_error("FileChunkStore: manifest disk out of range");
+      }
+      Disk& d = disks_[static_cast<size_t>(disk)];
+      auto it = d.entries.find(e.meta.id);
+      if (it != d.entries.end()) d.live_bytes -= it->second.meta.bytes;
+      d.entries[e.meta.id] = e;
+      d.live_bytes += e.meta.bytes;
+      d.file_size = std::max(d.file_size, e.offset + e.stored_bytes);
+    } else if (op == "erase") {
+      int disk = 0;
+      ChunkId id;
+      if (!(ls >> disk >> id.dataset >> id.index)) {
+        throw std::runtime_error("FileChunkStore: bad manifest erase line");
+      }
+      Disk& d = disks_[static_cast<size_t>(disk)];
+      auto it = d.entries.find(id);
+      if (it != d.entries.end()) {
+        d.live_bytes -= it->second.meta.bytes;
+        d.entries.erase(it);
+      }
+    } else if (!op.empty()) {
+      throw std::runtime_error("FileChunkStore: unknown manifest op '" + op + "'");
+    }
+  }
+}
+
+FileChunkStore::~FileChunkStore() = default;
+
+void FileChunkStore::put(Chunk chunk) {
+  const int disk = chunk.meta().disk;
+  assert(disk >= 0 && disk < num_disks());
+  std::lock_guard<std::mutex> lock(mutex_);
+  Disk& d = disks_[static_cast<size_t>(disk)];
+  Entry e;
+  e.meta = chunk.meta();
+  e.offset = d.file_size;
+  e.stored_bytes = chunk.payload().size();
+  if (e.stored_bytes > 0) {
+    std::ofstream f(d.path, std::ios::binary | std::ios::app);
+    if (!f) throw std::runtime_error("FileChunkStore: cannot open " + d.path.string());
+    f.write(reinterpret_cast<const char*>(chunk.payload().data()),
+            static_cast<std::streamsize>(e.stored_bytes));
+    d.file_size += e.stored_bytes;
+  }
+  auto it = d.entries.find(e.meta.id);
+  if (it != d.entries.end()) d.live_bytes -= it->second.meta.bytes;
+  d.entries[e.meta.id] = e;
+  d.live_bytes += e.meta.bytes;
+
+  std::ostringstream line;
+  line << std::setprecision(17) << "put " << disk << ' ' << e.meta.id.dataset << ' '
+       << e.meta.id.index << ' ' << e.offset << ' ' << e.stored_bytes << ' '
+       << e.meta.bytes << ' ' << e.meta.mbr.dims();
+  for (int i = 0; i < e.meta.mbr.dims(); ++i) line << ' ' << e.meta.mbr.lo()[i];
+  for (int i = 0; i < e.meta.mbr.dims(); ++i) line << ' ' << e.meta.mbr.hi()[i];
+  append_manifest(line.str());
+}
+
+std::optional<Chunk> FileChunkStore::get(int disk, ChunkId id) const {
+  assert(disk >= 0 && disk < num_disks());
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Disk& d = disks_[static_cast<size_t>(disk)];
+  auto it = d.entries.find(id);
+  if (it == d.entries.end()) return std::nullopt;
+  const Entry& e = it->second;
+  std::vector<std::byte> payload(e.stored_bytes);
+  if (e.stored_bytes > 0) {
+    std::ifstream f(d.path, std::ios::binary);
+    if (!f) throw std::runtime_error("FileChunkStore: cannot open " + d.path.string());
+    f.seekg(static_cast<std::streamoff>(e.offset));
+    f.read(reinterpret_cast<char*>(payload.data()),
+           static_cast<std::streamsize>(e.stored_bytes));
+    if (!f) throw std::runtime_error("FileChunkStore: short read from " + d.path.string());
+  }
+  return Chunk(e.meta, std::move(payload));
+}
+
+bool FileChunkStore::contains(int disk, ChunkId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return disks_[static_cast<size_t>(disk)].entries.contains(id);
+}
+
+bool FileChunkStore::erase(int disk, ChunkId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Disk& d = disks_[static_cast<size_t>(disk)];
+  auto it = d.entries.find(id);
+  if (it == d.entries.end()) return false;
+  d.live_bytes -= it->second.meta.bytes;
+  d.entries.erase(it);  // dead bytes remain in the file (no compaction)
+  append_manifest("erase " + std::to_string(disk) + ' ' +
+                  std::to_string(id.dataset) + ' ' + std::to_string(id.index));
+  return true;
+}
+
+std::size_t FileChunkStore::chunk_count(int disk) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return disks_[static_cast<size_t>(disk)].entries.size();
+}
+
+std::uint64_t FileChunkStore::bytes_on_disk(int disk) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return disks_[static_cast<size_t>(disk)].live_bytes;
+}
+
+}  // namespace adr

@@ -1,0 +1,95 @@
+#include "storage/partition.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "common/hilbert.hpp"
+
+namespace adr {
+
+std::vector<Chunk> partition_items(std::vector<Item> items, const Rect& domain,
+                                   const PartitionOptions& options) {
+  std::vector<Chunk> chunks;
+  if (items.empty()) return chunks;
+
+  // Order items along the Hilbert curve through their positions.
+  std::vector<std::size_t> order(items.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::vector<std::uint64_t> keys(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    keys[i] = hilbert_index_in_domain(items[i].position, domain, options.hilbert_bits);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&keys](std::size_t a, std::size_t b) { return keys[a] < keys[b]; });
+
+  // Split the curve into runs of bounded payload size.
+  std::vector<std::byte> payload;
+  Rect mbr;
+  auto flush = [&]() {
+    if (payload.empty()) return;
+    ChunkMeta meta;
+    meta.mbr = mbr;
+    meta.bytes = payload.size();
+    chunks.emplace_back(meta, std::move(payload));
+    payload = {};
+    mbr = Rect();
+  };
+  for (std::size_t pos : order) {
+    Item& item = items[pos];
+    if (!payload.empty() &&
+        payload.size() + item.payload.size() > options.target_chunk_bytes) {
+      flush();
+    }
+    payload.insert(payload.end(), item.payload.begin(), item.payload.end());
+    mbr = Rect::join(mbr, Rect(item.position, item.position));
+  }
+  flush();
+  return chunks;
+}
+
+std::vector<Chunk> partition_grid(
+    const Rect& domain, int nx, int ny,
+    const std::function<std::vector<std::byte>(int ix, int iy)>& fill) {
+  assert(domain.dims() >= 2 && nx >= 1 && ny >= 1);
+  std::vector<Chunk> chunks;
+  chunks.reserve(static_cast<size_t>(nx) * static_cast<size_t>(ny));
+  const double dx = domain.extent(0) / nx;
+  const double dy = domain.extent(1) / ny;
+  for (int iy = 0; iy < ny; ++iy) {
+    for (int ix = 0; ix < nx; ++ix) {
+      ChunkMeta meta;
+      Point lo(2), hi(2);
+      lo[0] = domain.lo()[0] + ix * dx + dx * 1e-9;
+      hi[0] = domain.lo()[0] + (ix + 1) * dx - dx * 1e-9;
+      lo[1] = domain.lo()[1] + iy * dy + dy * 1e-9;
+      hi[1] = domain.lo()[1] + (iy + 1) * dy - dy * 1e-9;
+      meta.mbr = Rect(lo, hi);
+      std::vector<std::byte> payload = fill(ix, iy);
+      meta.bytes = payload.size();
+      chunks.emplace_back(meta, std::move(payload));
+    }
+  }
+  return chunks;
+}
+
+double partition_overlap(const std::vector<Chunk>& chunks) {
+  if (chunks.size() < 2) return 0.0;
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t a = 0; a < chunks.size(); ++a) {
+    const Rect& ra = chunks[a].meta().mbr;
+    const double volume = ra.volume();
+    if (volume <= 0.0) continue;
+    double overlap = 0.0;
+    for (std::size_t b = 0; b < chunks.size(); ++b) {
+      if (a == b) continue;
+      overlap += ra.overlap_volume(chunks[b].meta().mbr);
+    }
+    total += overlap / volume;
+    ++counted;
+  }
+  return counted > 0 ? total / static_cast<double>(counted) : 0.0;
+}
+
+}  // namespace adr

@@ -1,0 +1,59 @@
+// Dataset partitioning (paper section 2.2, load step 1).
+//
+// "A dataset is partitioned into a set of chunks to achieve high
+// bandwidth data retrieval...  Since data is accessed through range
+// queries, it is desirable to have data items that are close to each
+// other in the multi-dimensional space in the same chunk."
+//
+// partition_items() turns a bag of multi-dimensional items into chunks:
+// items are ordered along the Hilbert curve and split into runs of
+// bounded byte size, so every chunk is spatially compact and the chunk
+// MBRs tile the data with little overlap.  A regular-grid partitioner is
+// provided for dense array data (VM/WCS-style), where the grid *is* the
+// right chunking.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "storage/chunk.hpp"
+
+namespace adr {
+
+/// One input item: a point plus its serialized payload.
+struct Item {
+  Point position;
+  std::vector<std::byte> payload;
+};
+
+struct PartitionOptions {
+  /// Target chunk payload size; a chunk closes when adding the next item
+  /// would exceed it (chunks hold at least one item regardless).
+  std::uint64_t target_chunk_bytes = 128 * 1024;
+  /// Hilbert quantization bits for the ordering pass.
+  int hilbert_bits = 16;
+};
+
+/// Chunks a set of items by Hilbert order + size splitting.  `domain`
+/// must cover all item positions.  Item payloads are concatenated into
+/// the chunk payload in curve order; the chunk MBR is the bounding box
+/// of its items.  Items are consumed (moved from).
+std::vector<Chunk> partition_items(std::vector<Item> items, const Rect& domain,
+                                   const PartitionOptions& options = {});
+
+/// Chunks a dense 2-D array domain into an nx x ny grid of equal cells,
+/// calling `fill(ix, iy)` for each cell's payload.  Cells are shrunk by a
+/// relative epsilon so neighbours do not touch.
+std::vector<Chunk> partition_grid(
+    const Rect& domain, int nx, int ny,
+    const std::function<std::vector<std::byte>(int ix, int iy)>& fill);
+
+/// Quality metric: mean over chunks of (sum of pairwise MBR overlap
+/// volume with every other chunk) / chunk MBR volume.  0 = perfectly
+/// disjoint chunking; large = heavily overlapping chunks that defeat
+/// range-query pruning.
+double partition_overlap(const std::vector<Chunk>& chunks);
+
+}  // namespace adr

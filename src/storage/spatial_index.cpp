@@ -1,0 +1,91 @@
+#include "storage/spatial_index.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace adr {
+
+void GridIndex::build(const std::vector<Rect>& mbrs) {
+  entries_ = mbrs;
+  bounds_ = Rect();
+  for (const Rect& r : mbrs) bounds_ = Rect::join(bounds_, r);
+  cells_ = cells_hint_ > 0
+               ? cells_hint_
+               : std::max(1, static_cast<int>(std::sqrt(static_cast<double>(
+                                 std::max<std::size_t>(mbrs.size(), 1)))));
+  buckets_.assign(static_cast<size_t>(cells_) * static_cast<size_t>(cells_), {});
+  if (mbrs.empty() || bounds_.dims() < 2) return;
+  for (std::uint32_t i = 0; i < mbrs.size(); ++i) {
+    int x0, x1, y0, y1;
+    cell_span(mbrs[i], x0, x1, y0, y1);
+    for (int y = y0; y <= y1; ++y) {
+      for (int x = x0; x <= x1; ++x) {
+        buckets_[static_cast<size_t>(y) * static_cast<size_t>(cells_) +
+                 static_cast<size_t>(x)]
+            .push_back(i);
+      }
+    }
+  }
+}
+
+void GridIndex::cell_span(const Rect& r, int& x0, int& x1, int& y0, int& y1) const {
+  auto clamp_cell = [this](double frac) {
+    return std::clamp(static_cast<int>(frac * cells_), 0, cells_ - 1);
+  };
+  const double ex = std::max(bounds_.extent(0), 1e-300);
+  const double ey = std::max(bounds_.extent(1), 1e-300);
+  x0 = clamp_cell((r.lo()[0] - bounds_.lo()[0]) / ex);
+  x1 = clamp_cell((r.hi()[0] - bounds_.lo()[0]) / ex);
+  y0 = clamp_cell((r.lo()[1] - bounds_.lo()[1]) / ey);
+  y1 = clamp_cell((r.hi()[1] - bounds_.lo()[1]) / ey);
+}
+
+std::vector<std::uint32_t> GridIndex::query(const Rect& range) const {
+  std::vector<std::uint32_t> out;
+  if (entries_.empty() || range.dims() != bounds_.dims()) return out;
+  if (!range.intersects(bounds_)) return out;
+  int x0, x1, y0, y1;
+  cell_span(range, x0, x1, y0, y1);
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      for (std::uint32_t i :
+           buckets_[static_cast<size_t>(y) * static_cast<size_t>(cells_) +
+                    static_cast<size_t>(x)]) {
+        if (entries_[i].intersects(range)) out.push_back(i);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+IndexRegistry::IndexRegistry() {
+  register_index("rtree", []() { return std::make_unique<RTreeIndex>(); });
+  register_index("grid", []() { return std::make_unique<GridIndex>(); });
+}
+
+void IndexRegistry::register_index(const std::string& name, Factory factory) {
+  assert(factory != nullptr);
+  factories_[name] = std::move(factory);
+}
+
+std::unique_ptr<SpatialIndex> IndexRegistry::create(const std::string& name) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    throw std::invalid_argument("IndexRegistry: unknown index '" + name + "'");
+  }
+  return it->second();
+}
+
+std::vector<std::string> IndexRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace adr

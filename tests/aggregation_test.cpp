@@ -1,0 +1,170 @@
+#include "core/aggregation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace adr {
+namespace {
+
+Chunk chunk_of(std::vector<std::uint64_t> values) {
+  std::vector<std::byte> payload(values.size() * sizeof(std::uint64_t));
+  std::memcpy(payload.data(), values.data(), payload.size());
+  ChunkMeta meta;
+  meta.bytes = payload.size();
+  return Chunk(meta, std::move(payload));
+}
+
+struct Scm {
+  std::uint64_t sum, count, max;
+};
+
+Scm decode(const std::vector<std::byte>& accum) {
+  Scm out{};
+  std::memcpy(&out, accum.data(), sizeof(out));
+  return out;
+}
+
+TEST(SumCountMaxOp, InitializeIsZero) {
+  SumCountMaxOp op;
+  auto accum = op.initialize(ChunkMeta{}, nullptr);
+  const Scm s = decode(accum);
+  EXPECT_EQ(s.sum, 0u);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.max, 0u);
+}
+
+TEST(SumCountMaxOp, AggregateAccumulates) {
+  SumCountMaxOp op;
+  auto accum = op.initialize(ChunkMeta{}, nullptr);
+  op.aggregate(chunk_of({5, 10, 2}), ChunkMeta{}, accum);
+  const Scm s = decode(accum);
+  EXPECT_EQ(s.sum, 17u);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.max, 10u);
+}
+
+TEST(SumCountMaxOp, CombineMergesPartials) {
+  SumCountMaxOp op;
+  auto a = op.initialize(ChunkMeta{}, nullptr);
+  auto b = op.initialize(ChunkMeta{}, nullptr);
+  op.aggregate(chunk_of({1, 2}), ChunkMeta{}, a);
+  op.aggregate(chunk_of({100}), ChunkMeta{}, b);
+  op.combine(a, b);
+  const Scm s = decode(a);
+  EXPECT_EQ(s.sum, 103u);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.max, 100u);
+}
+
+TEST(SumCountMaxOp, CombineOrderIndependent) {
+  // The associativity/commutativity contract the planner depends on.
+  SumCountMaxOp op;
+  std::vector<Chunk> chunks;
+  chunks.push_back(chunk_of({3, 7}));
+  chunks.push_back(chunk_of({11}));
+  chunks.push_back(chunk_of({5, 5, 5}));
+
+  // Path 1: aggregate all into one accumulator.
+  auto direct = op.initialize(ChunkMeta{}, nullptr);
+  for (const Chunk& c : chunks) op.aggregate(c, ChunkMeta{}, direct);
+
+  // Path 2: partials combined in reverse order.
+  std::vector<std::vector<std::byte>> partials;
+  for (const Chunk& c : chunks) {
+    auto p = op.initialize(ChunkMeta{}, nullptr);
+    op.aggregate(c, ChunkMeta{}, p);
+    partials.push_back(std::move(p));
+  }
+  auto merged = op.initialize(ChunkMeta{}, nullptr);
+  for (auto it = partials.rbegin(); it != partials.rend(); ++it) op.combine(merged, *it);
+
+  EXPECT_EQ(direct, merged);
+}
+
+TEST(SumCountMaxOp, OutputIsAccumulator) {
+  SumCountMaxOp op;
+  auto accum = op.initialize(ChunkMeta{}, nullptr);
+  op.aggregate(chunk_of({9}), ChunkMeta{}, accum);
+  EXPECT_EQ(op.output(ChunkMeta{}, accum), accum);
+}
+
+TEST(SumCountMaxOp, EmptyInputChunkIsNoop) {
+  SumCountMaxOp op;
+  auto accum = op.initialize(ChunkMeta{}, nullptr);
+  op.aggregate(Chunk(ChunkMeta{}), ChunkMeta{}, accum);
+  EXPECT_EQ(decode(accum).count, 0u);
+}
+
+TEST(SumCountMaxOp, LayoutMultiplier) {
+  SumCountMaxOp op;
+  EXPECT_DOUBLE_EQ(op.layout().size_multiplier, 3.0);
+  EXPECT_FALSE(op.requires_existing_output());
+}
+
+TEST(CountOp, CountsItemsAcrossChunksAndCombines) {
+  CountOp op;
+  auto a = op.initialize(ChunkMeta{}, nullptr);
+  auto b = op.initialize(ChunkMeta{}, nullptr);
+  op.aggregate(chunk_of({1, 2, 3}), ChunkMeta{}, a);
+  op.aggregate(chunk_of({4}), ChunkMeta{}, b);
+  op.combine(a, b);
+  EXPECT_EQ(*reinterpret_cast<const std::uint64_t*>(op.output(ChunkMeta{}, a).data()),
+            4u);
+}
+
+TEST(HistogramOp, BucketsValuesExactly) {
+  HistogramOp op(4, 0, 400);  // buckets of width 100
+  EXPECT_EQ(op.bucket_of(0), 0);
+  EXPECT_EQ(op.bucket_of(99), 0);
+  EXPECT_EQ(op.bucket_of(100), 1);
+  EXPECT_EQ(op.bucket_of(399), 3);
+  EXPECT_EQ(op.bucket_of(5000), 3);  // clamps
+
+  auto accum = op.initialize(ChunkMeta{}, nullptr);
+  op.aggregate(chunk_of({0, 50, 150, 399, 999}), ChunkMeta{}, accum);
+  const auto* counts = reinterpret_cast<const std::uint64_t*>(accum.data());
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(counts[3], 2u);
+}
+
+TEST(HistogramOp, CombineIsBucketwiseSum) {
+  HistogramOp op(2, 0, 10);
+  auto a = op.initialize(ChunkMeta{}, nullptr);
+  auto b = op.initialize(ChunkMeta{}, nullptr);
+  op.aggregate(chunk_of({1}), ChunkMeta{}, a);
+  op.aggregate(chunk_of({9, 9}), ChunkMeta{}, b);
+  op.combine(a, b);
+  const auto* counts = reinterpret_cast<const std::uint64_t*>(a.data());
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 2u);
+}
+
+TEST(HistogramOp, LayoutScalesWithBuckets) {
+  EXPECT_DOUBLE_EQ(HistogramOp(32, 0, 100).layout().size_multiplier, 32.0);
+}
+
+TEST(AggregationService, BuiltInRegistered) {
+  AggregationService svc;
+  EXPECT_NE(svc.find("sum-count-max"), nullptr);
+  EXPECT_NE(svc.find("count"), nullptr);
+  EXPECT_NE(svc.find("histogram"), nullptr);
+  EXPECT_EQ(svc.find("nope"), nullptr);
+  EXPECT_NE(svc.find_shared("sum-count-max"), nullptr);
+}
+
+TEST(AggregationService, CustomOpRegistration) {
+  class NamedOp : public SumCountMaxOp {
+   public:
+    std::string name() const override { return "custom"; }
+  };
+  AggregationService svc;
+  svc.register_op(std::make_shared<NamedOp>());
+  EXPECT_NE(svc.find("custom"), nullptr);
+  EXPECT_GE(svc.op_names().size(), 2u);
+}
+
+}  // namespace
+}  // namespace adr

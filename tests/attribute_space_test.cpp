@@ -1,0 +1,90 @@
+#include "core/attribute_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace adr {
+namespace {
+
+TEST(IdentityMap, KeepsAllDimsByDefault) {
+  IdentityMap map;
+  const Rect r = Rect::cube(3, 0.0, 2.0);
+  EXPECT_EQ(map.project(r), r);
+}
+
+TEST(IdentityMap, DropsTrailingDims) {
+  IdentityMap map(2);
+  const Rect r(Point{1.0, 2.0, 3.0}, Point{4.0, 5.0, 6.0});
+  const Rect p = map.project(r);
+  EXPECT_EQ(p.dims(), 2);
+  EXPECT_DOUBLE_EQ(p.lo()[0], 1.0);
+  EXPECT_DOUBLE_EQ(p.hi()[1], 5.0);
+}
+
+TEST(AffineMap, ScaleAndOffset) {
+  AffineMap map({2.0, 0.5}, {10.0, -1.0}, 2);
+  const Rect r(Point{0.0, 2.0}, Point{1.0, 4.0});
+  const Rect p = map.project(r);
+  EXPECT_DOUBLE_EQ(p.lo()[0], 10.0);
+  EXPECT_DOUBLE_EQ(p.hi()[0], 12.0);
+  EXPECT_DOUBLE_EQ(p.lo()[1], 0.0);
+  EXPECT_DOUBLE_EQ(p.hi()[1], 1.0);
+}
+
+TEST(AffineMap, NegativeScaleFlipsBounds) {
+  AffineMap map({-1.0}, {0.0}, 1);
+  const Rect r(Point{1.0}, Point{3.0});
+  const Rect p = map.project(r);
+  EXPECT_DOUBLE_EQ(p.lo()[0], -3.0);
+  EXPECT_DOUBLE_EQ(p.hi()[0], -1.0);
+  EXPECT_TRUE(p.valid());
+}
+
+TEST(AffineMap, SpreadInflates) {
+  AffineMap map({1.0, 1.0}, {0.0, 0.0}, 2, {0.5, 0.0});
+  const Rect p = map.project(Rect::cube(2, 0.0, 1.0));
+  EXPECT_DOUBLE_EQ(p.lo()[0], -0.5);
+  EXPECT_DOUBLE_EQ(p.hi()[0], 1.5);
+  EXPECT_DOUBLE_EQ(p.lo()[1], 0.0);
+}
+
+TEST(AffineMap, DimensionReduction3DTo2D) {
+  AffineMap map({1.0, 1.0, 1.0}, {0.0, 0.0, 0.0}, 2);
+  const Rect p = map.project(Rect::cube(3, 0.0, 1.0));
+  EXPECT_EQ(p.dims(), 2);
+}
+
+TEST(AffineMap, RejectsBadArguments) {
+  EXPECT_THROW(AffineMap({1.0}, {0.0, 0.0}, 1), std::invalid_argument);
+  EXPECT_THROW(AffineMap({1.0}, {0.0}, 2), std::invalid_argument);
+  EXPECT_THROW(AffineMap({1.0, 1.0}, {0.0, 0.0}, 2, {0.1}), std::invalid_argument);
+}
+
+TEST(AttributeSpaceService, RegistersAndFindsSpaces) {
+  AttributeSpaceService svc;
+  svc.register_space({"globe", Rect(Point{-180.0, -90.0}, Point{180.0, 90.0})});
+  const AttributeSpace* space = svc.find_space("globe");
+  ASSERT_NE(space, nullptr);
+  EXPECT_EQ(space->dims(), 2);
+  EXPECT_EQ(svc.find_space("nope"), nullptr);
+  EXPECT_EQ(svc.space_names().size(), 1u);
+}
+
+TEST(AttributeSpaceService, RegistersAndFindsMaps) {
+  AttributeSpaceService svc;
+  svc.register_map(std::make_shared<IdentityMap>(2));
+  EXPECT_NE(svc.find_map("identity"), nullptr);
+  EXPECT_EQ(svc.find_map("affine"), nullptr);
+}
+
+TEST(AttributeSpaceService, ReRegistrationReplaces) {
+  AttributeSpaceService svc;
+  svc.register_space({"s", Rect::cube(2, 0.0, 1.0)});
+  svc.register_space({"s", Rect::cube(3, 0.0, 1.0)});
+  EXPECT_EQ(svc.find_space("s")->dims(), 3);
+  EXPECT_EQ(svc.space_names().size(), 1u);
+}
+
+}  // namespace
+}  // namespace adr

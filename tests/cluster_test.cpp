@@ -1,0 +1,49 @@
+#include "sim/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adr::sim {
+namespace {
+
+TEST(ClusterConfig, IbmSpProfileMatchesPaper) {
+  const ClusterConfig cfg = ibm_sp_profile(128);
+  EXPECT_EQ(cfg.num_nodes, 128);
+  EXPECT_EQ(cfg.disks_per_node, 1);
+  // 110 MB/s peak per-node switch bandwidth.
+  EXPECT_DOUBLE_EQ(cfg.link.bandwidth_bytes_per_sec, 110.0 * 1024 * 1024);
+  EXPECT_EQ(cfg.total_disks(), 128);
+}
+
+TEST(SimCluster, BuildsNodesAndDisks) {
+  ClusterConfig cfg = ibm_sp_profile(4);
+  cfg.disks_per_node = 3;
+  SimCluster cluster(cfg);
+  EXPECT_EQ(cluster.num_nodes(), 4);
+  for (int n = 0; n < 4; ++n) {
+    EXPECT_EQ(cluster.node(n).id(), n);
+    EXPECT_EQ(cluster.node(n).num_disks(), 3);
+  }
+}
+
+TEST(SimCluster, GlobalDiskMapping) {
+  ClusterConfig cfg = ibm_sp_profile(4);
+  cfg.disks_per_node = 2;
+  SimCluster cluster(cfg);
+  EXPECT_EQ(cluster.node_of_disk(0), 0);
+  EXPECT_EQ(cluster.node_of_disk(1), 0);
+  EXPECT_EQ(cluster.node_of_disk(2), 1);
+  EXPECT_EQ(cluster.node_of_disk(7), 3);
+  EXPECT_EQ(cluster.local_disk(7), 1);
+  EXPECT_EQ(cluster.local_disk(6), 0);
+}
+
+TEST(SimCluster, ResourcesShareTheClock) {
+  SimCluster cluster(ibm_sp_profile(2));
+  SimTime done = -1;
+  cluster.node(0).cpu().acquire(from_millis(5.0), [&]() { done = cluster.sim().now(); });
+  cluster.sim().run();
+  EXPECT_EQ(done, from_millis(5.0));
+}
+
+}  // namespace
+}  // namespace adr::sim

@@ -1,0 +1,88 @@
+#include "core/planner/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/planner/strategy.hpp"
+#include "test_helpers.hpp"
+
+namespace adr {
+namespace {
+
+using testing::make_grid_scenario;
+using testing::make_planner_input;
+
+ComputeCosts cheap_costs() { return {0.001, 0.002, 0.001, 0.001}; }
+
+MachineParams machine() {
+  MachineParams m;
+  m.disk_seek_s = 0.01;
+  m.disk_bw_bytes_per_s = 10e6;
+  m.net_latency_s = 40e-6;
+  m.net_bw_bytes_per_s = 100e6;
+  return m;
+}
+
+TEST(CostModel, PositiveAndDecomposed) {
+  const auto s = make_grid_scenario(4, 2);
+  const auto in = make_planner_input(s, 4, 4 * 500);
+  const QueryPlan plan = plan_fra(in);
+  const CostEstimate est = estimate_cost(plan, in, cheap_costs(), machine());
+  EXPECT_GT(est.total_s, 0.0);
+  EXPECT_NEAR(est.total_s, est.init_s + est.lr_s + est.gc_s + est.oh_s, 1e-12);
+  EXPECT_GT(est.lr_s, 0.0);
+}
+
+TEST(CostModel, DaHasNoCombineCost) {
+  const auto s = make_grid_scenario(4, 2);
+  const auto in = make_planner_input(s, 4, 4 * 500);
+  const CostEstimate da = estimate_cost(plan_da(in), in, cheap_costs(), machine());
+  const CostEstimate fra = estimate_cost(plan_fra(in), in, cheap_costs(), machine());
+  EXPECT_EQ(da.gc_s, 0.0);
+  EXPECT_GT(fra.gc_s, 0.0);
+}
+
+TEST(CostModel, MoreComputeCostsMoreTime) {
+  const auto s = make_grid_scenario(4, 2);
+  const auto in = make_planner_input(s, 4, 4 * 500);
+  const QueryPlan plan = plan_fra(in);
+  ComputeCosts heavy = cheap_costs();
+  heavy.lr_pair *= 100.0;
+  const CostEstimate cheap = estimate_cost(plan, in, cheap_costs(), machine());
+  const CostEstimate expensive = estimate_cost(plan, in, heavy, machine());
+  EXPECT_GT(expensive.total_s, cheap.total_s);
+}
+
+TEST(CostModel, SlowerDiskCostsMoreTime) {
+  const auto s = make_grid_scenario(4, 2);
+  auto in = make_planner_input(s, 4, 4 * 500, /*input_bytes=*/1'000'000);
+  const QueryPlan plan = plan_fra(in);
+  MachineParams fast = machine();
+  MachineParams slow = machine();
+  slow.disk_bw_bytes_per_s /= 10.0;
+  ComputeCosts zero{};
+  EXPECT_GT(estimate_cost(plan, in, zero, slow).total_s,
+            estimate_cost(plan, in, zero, fast).total_s);
+}
+
+TEST(CostModel, MoreNodesReduceEstimatedTime) {
+  const auto s = make_grid_scenario(8, 4);  // 1024 inputs
+  ComputeCosts costs{0.001, 0.01, 0.001, 0.001};
+  const auto in_small = make_planner_input(s, 2, 64 * 500);
+  const auto in_big = make_planner_input(s, 8, 64 * 500);
+  const CostEstimate small =
+      estimate_cost(plan_fra(in_small), in_small, costs, machine());
+  const CostEstimate big = estimate_cost(plan_fra(in_big), in_big, costs, machine());
+  EXPECT_GT(small.total_s, big.total_s);
+}
+
+TEST(CostModel, ToStringMentionsPhases) {
+  CostEstimate est;
+  est.total_s = 1.0;
+  est.lr_s = 0.5;
+  const std::string str = est.to_string();
+  EXPECT_NE(str.find("lr="), std::string::npos);
+  EXPECT_NE(str.find("total="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adr

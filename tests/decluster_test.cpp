@@ -1,0 +1,146 @@
+#include "storage/decluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/random.hpp"
+
+namespace adr {
+namespace {
+
+std::vector<ChunkMeta> grid_chunks(int nx, int ny) {
+  std::vector<ChunkMeta> chunks;
+  for (int y = 0; y < ny; ++y) {
+    for (int x = 0; x < nx; ++x) {
+      ChunkMeta m;
+      m.id = {0, static_cast<std::uint32_t>(chunks.size())};
+      m.mbr = Rect(Point{static_cast<double>(x), static_cast<double>(y)},
+                   Point{x + 0.99, y + 0.99});
+      m.bytes = 1024;
+      chunks.push_back(m);
+    }
+  }
+  return chunks;
+}
+
+Rect domain(int nx, int ny) {
+  return Rect(Point{0.0, 0.0}, Point{static_cast<double>(nx), static_cast<double>(ny)});
+}
+
+std::vector<int> counts(const std::vector<int>& assignment, int disks) {
+  std::vector<int> c(static_cast<size_t>(disks), 0);
+  for (int d : assignment) ++c[static_cast<size_t>(d)];
+  return c;
+}
+
+class DeclusterMethodTest : public ::testing::TestWithParam<DeclusterMethod> {};
+
+TEST_P(DeclusterMethodTest, AssignsValidDisks) {
+  const auto chunks = grid_chunks(16, 16);
+  DeclusterOptions opts;
+  opts.method = GetParam();
+  opts.num_disks = 7;
+  const auto assignment = decluster(chunks, domain(16, 16), opts);
+  ASSERT_EQ(assignment.size(), chunks.size());
+  for (int d : assignment) {
+    EXPECT_GE(d, 0);
+    EXPECT_LT(d, 7);
+  }
+}
+
+TEST_P(DeclusterMethodTest, RoughlyBalanced) {
+  const auto chunks = grid_chunks(32, 32);
+  DeclusterOptions opts;
+  opts.method = GetParam();
+  opts.num_disks = 8;
+  const auto assignment = decluster(chunks, domain(32, 32), opts);
+  const auto c = counts(assignment, 8);
+  const int ideal = 1024 / 8;
+  for (int n : c) {
+    // Hilbert/round-robin are exact; random is statistical.
+    EXPECT_NEAR(n, ideal, GetParam() == DeclusterMethod::kRandom ? 50 : 1);
+  }
+}
+
+TEST_P(DeclusterMethodTest, SingleDiskDegenerates) {
+  const auto chunks = grid_chunks(4, 4);
+  DeclusterOptions opts;
+  opts.method = GetParam();
+  opts.num_disks = 1;
+  const auto assignment = decluster(chunks, domain(4, 4), opts);
+  for (int d : assignment) EXPECT_EQ(d, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, DeclusterMethodTest,
+                         ::testing::Values(DeclusterMethod::kHilbert,
+                                           DeclusterMethod::kRoundRobin,
+                                           DeclusterMethod::kRandom),
+                         [](const auto& info) {
+                           std::string name = to_string(info.param);
+                           name.erase(std::remove(name.begin(), name.end(), '-'),
+                                      name.end());
+                           return name;
+                         });
+
+TEST(Decluster, HilbertSpreadsSpatialNeighbors) {
+  // Chunks adjacent along the Hilbert curve land on different disks, so a
+  // small range query touches many disks.
+  const auto chunks = grid_chunks(16, 16);
+  DeclusterOptions opts;
+  opts.method = DeclusterMethod::kHilbert;
+  opts.num_disks = 8;
+  const auto assignment = decluster(chunks, domain(16, 16), opts);
+
+  // Probe a 4x4 spatial window: 16 chunks should hit near all 8 disks.
+  std::vector<int> hit(8, 0);
+  const Rect window(Point{4.0, 4.0}, Point{7.99, 7.99});
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    if (chunks[i].mbr.intersects(window)) ++hit[static_cast<size_t>(assignment[i])];
+  }
+  const int disks_used =
+      static_cast<int>(std::count_if(hit.begin(), hit.end(), [](int h) { return h > 0; }));
+  EXPECT_GE(disks_used, 7);
+}
+
+TEST(Decluster, QualityMetricOrdersMethods) {
+  // Hilbert declustering should beat random placement for range queries
+  // (Moon & Saltz).  Use enough probes to be stable.
+  const auto chunks = grid_chunks(32, 32);
+  const Rect dom = domain(32, 32);
+  DeclusterOptions opts;
+  opts.num_disks = 8;
+
+  opts.method = DeclusterMethod::kHilbert;
+  const auto hilbert = decluster(chunks, dom, opts);
+  opts.method = DeclusterMethod::kRandom;
+  const auto random = decluster(chunks, dom, opts);
+
+  const double q_hilbert = decluster_quality(chunks, hilbert, dom, 8, 0.25, 200, 1);
+  const double q_random = decluster_quality(chunks, random, dom, 8, 0.25, 200, 1);
+  EXPECT_GE(q_hilbert, 1.0);
+  EXPECT_LT(q_hilbert, q_random);
+}
+
+TEST(Decluster, RandomIsSeedDeterministic) {
+  const auto chunks = grid_chunks(8, 8);
+  DeclusterOptions opts;
+  opts.method = DeclusterMethod::kRandom;
+  opts.num_disks = 4;
+  opts.seed = 99;
+  const auto a = decluster(chunks, domain(8, 8), opts);
+  const auto b = decluster(chunks, domain(8, 8), opts);
+  EXPECT_EQ(a, b);
+  opts.seed = 100;
+  EXPECT_NE(a, decluster(chunks, domain(8, 8), opts));
+}
+
+TEST(Decluster, ToStringNames) {
+  EXPECT_EQ(to_string(DeclusterMethod::kHilbert), "hilbert");
+  EXPECT_EQ(to_string(DeclusterMethod::kRoundRobin), "round-robin");
+  EXPECT_EQ(to_string(DeclusterMethod::kRandom), "random");
+}
+
+}  // namespace
+}  // namespace adr

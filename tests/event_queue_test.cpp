@@ -1,0 +1,59 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace adr::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(30, [&]() { order.push_back(3); });
+  q.push(10, [&]() { order.push_back(1); });
+  q.push(20, [&]() { order.push_back(2); });
+  while (!q.empty()) q.pop()();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.push(5, [&order, i]() { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop()();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, ReportsNextTime) {
+  EventQueue q;
+  q.push(42, []() {});
+  q.push(7, []() {});
+  EXPECT_EQ(q.next_time(), 7);
+  SimTime at = -1;
+  q.pop(&at)();
+  EXPECT_EQ(at, 7);
+  EXPECT_EQ(q.next_time(), 42);
+}
+
+TEST(EventQueue, SizeTracks) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  q.push(1, []() {});
+  q.push(2, []() {});
+  EXPECT_EQ(q.size(), 2u);
+  q.pop();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(SimTimeConversions, RoundTrip) {
+  EXPECT_EQ(from_seconds(1.0), kNanosPerSecond);
+  EXPECT_EQ(from_millis(1.0), 1'000'000);
+  EXPECT_EQ(from_micros(1.0), 1'000);
+  EXPECT_DOUBLE_EQ(to_seconds(from_seconds(2.5)), 2.5);
+}
+
+}  // namespace
+}  // namespace adr::sim

@@ -1,0 +1,188 @@
+#include "common/hilbert.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <set>
+#include <tuple>
+
+namespace adr {
+namespace {
+
+TEST(Hilbert, OneDimensionIsIdentity) {
+  for (std::uint32_t v : {0u, 1u, 5u, 255u}) {
+    const std::uint32_t axes[] = {v};
+    EXPECT_EQ(hilbert_index(axes, 8), v);
+  }
+}
+
+TEST(Hilbert, TwoDimOrder2MatchesKnownCurve) {
+  // The classic 2x2 Hilbert curve: (0,0) (0,1) (1,1) (1,0).
+  auto idx = [](std::uint32_t x, std::uint32_t y) {
+    const std::uint32_t axes[] = {x, y};
+    return hilbert_index(axes, 1);
+  };
+  EXPECT_EQ(idx(0, 0), 0u);
+  EXPECT_EQ(idx(0, 1), 1u);
+  EXPECT_EQ(idx(1, 1), 2u);
+  EXPECT_EQ(idx(1, 0), 3u);
+}
+
+TEST(Hilbert, RoundTrip2D) {
+  const int bits = 5;
+  for (std::uint32_t x = 0; x < 32; x += 3) {
+    for (std::uint32_t y = 0; y < 32; y += 5) {
+      const std::uint32_t axes[] = {x, y};
+      const std::uint64_t h = hilbert_index(axes, bits);
+      const auto back = hilbert_axes(h, 2, bits);
+      EXPECT_EQ(back[0], x);
+      EXPECT_EQ(back[1], y);
+    }
+  }
+}
+
+TEST(Hilbert, RoundTrip3D) {
+  const int bits = 4;
+  for (std::uint32_t x = 0; x < 16; x += 2) {
+    for (std::uint32_t y = 0; y < 16; y += 3) {
+      for (std::uint32_t z = 0; z < 16; z += 5) {
+        const std::uint32_t axes[] = {x, y, z};
+        const std::uint64_t h = hilbert_index(axes, bits);
+        const auto back = hilbert_axes(h, 3, bits);
+        EXPECT_EQ(back[0], x);
+        EXPECT_EQ(back[1], y);
+        EXPECT_EQ(back[2], z);
+      }
+    }
+  }
+}
+
+TEST(Hilbert, IsBijectionOnFullGrid2D) {
+  const int bits = 4;  // 16x16 grid
+  std::set<std::uint64_t> seen;
+  for (std::uint32_t x = 0; x < 16; ++x) {
+    for (std::uint32_t y = 0; y < 16; ++y) {
+      const std::uint32_t axes[] = {x, y};
+      seen.insert(hilbert_index(axes, bits));
+    }
+  }
+  EXPECT_EQ(seen.size(), 256u);
+  EXPECT_EQ(*seen.rbegin(), 255u);
+}
+
+TEST(Hilbert, ConsecutiveIndicesAreGridNeighbors) {
+  // The defining property of the Hilbert curve: successive cells along
+  // the curve differ by exactly one step in exactly one axis.
+  const int bits = 4;
+  auto prev = hilbert_axes(0, 2, bits);
+  for (std::uint64_t h = 1; h < 256; ++h) {
+    const auto cur = hilbert_axes(h, 2, bits);
+    const int dx = std::abs(static_cast<int>(cur[0]) - static_cast<int>(prev[0]));
+    const int dy = std::abs(static_cast<int>(cur[1]) - static_cast<int>(prev[1]));
+    EXPECT_EQ(dx + dy, 1) << "at h=" << h;
+    prev = cur;
+  }
+}
+
+TEST(Hilbert, ConsecutiveIndicesAreGridNeighbors3D) {
+  const int bits = 3;
+  auto prev = hilbert_axes(0, 3, bits);
+  for (std::uint64_t h = 1; h < 512; ++h) {
+    const auto cur = hilbert_axes(h, 3, bits);
+    int manhattan = 0;
+    for (int d = 0; d < 3; ++d) {
+      manhattan += std::abs(static_cast<int>(cur[static_cast<size_t>(d)]) -
+                            static_cast<int>(prev[static_cast<size_t>(d)]));
+    }
+    EXPECT_EQ(manhattan, 1) << "at h=" << h;
+    prev = cur;
+  }
+}
+
+class HilbertDimsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HilbertDimsTest, BijectionOnSmallGrid) {
+  const int dims = GetParam();
+  const int bits = 2;  // 4 cells per side
+  const std::uint64_t total = 1ull << (static_cast<unsigned>(dims * bits));
+  std::set<std::uint64_t> seen;
+  std::vector<std::uint32_t> axes(static_cast<size_t>(dims), 0);
+  // Enumerate every cell of the grid.
+  for (std::uint64_t cell = 0; cell < total; ++cell) {
+    std::uint64_t rest = cell;
+    for (int d = 0; d < dims; ++d) {
+      axes[static_cast<size_t>(d)] = static_cast<std::uint32_t>(rest & 3u);
+      rest >>= 2;
+    }
+    const std::uint64_t h = hilbert_index(axes, bits);
+    EXPECT_LT(h, total);
+    seen.insert(h);
+    // Inverse agrees.
+    EXPECT_EQ(hilbert_axes(h, dims, bits), axes);
+  }
+  EXPECT_EQ(seen.size(), total);
+}
+
+TEST_P(HilbertDimsTest, CurveStepsAreUnitMoves) {
+  const int dims = GetParam();
+  const int bits = 2;
+  const std::uint64_t total = 1ull << (static_cast<unsigned>(dims * bits));
+  auto prev = hilbert_axes(0, dims, bits);
+  for (std::uint64_t h = 1; h < total; ++h) {
+    const auto cur = hilbert_axes(h, dims, bits);
+    int manhattan = 0;
+    for (int d = 0; d < dims; ++d) {
+      manhattan += std::abs(static_cast<int>(cur[static_cast<size_t>(d)]) -
+                            static_cast<int>(prev[static_cast<size_t>(d)]));
+    }
+    EXPECT_EQ(manhattan, 1) << "dims=" << dims << " h=" << h;
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, HilbertDimsTest, ::testing::Values(2, 3, 4, 5, 6),
+                         [](const auto& info) {
+                           return "d" + std::to_string(info.param);
+                         });
+
+TEST(Hilbert, MaxBits) {
+  EXPECT_EQ(hilbert_max_bits(1), 31);
+  EXPECT_EQ(hilbert_max_bits(2), 31);
+  EXPECT_EQ(hilbert_max_bits(3), 21);
+  EXPECT_EQ(hilbert_max_bits(8), 8);
+}
+
+TEST(HilbertDomain, QuantizesAndClamps) {
+  const Rect domain = Rect::cube(2, 0.0, 1.0);
+  // Corners map to valid indices; out-of-domain points clamp.
+  const std::uint64_t a = hilbert_index_in_domain(Point{0.0, 0.0}, domain, 8);
+  const std::uint64_t b = hilbert_index_in_domain(Point{-5.0, -5.0}, domain, 8);
+  EXPECT_EQ(a, b);
+  const std::uint64_t c = hilbert_index_in_domain(Point{1.0, 1.0}, domain, 8);
+  const std::uint64_t d = hilbert_index_in_domain(Point{9.0, 9.0}, domain, 8);
+  EXPECT_EQ(c, d);
+}
+
+TEST(HilbertDomain, NearbyPointsOftenNearbyOnCurve) {
+  // Locality smoke check: mean index distance of adjacent cells must be
+  // far below that of random pairs.
+  const Rect domain = Rect::cube(2, 0.0, 1.0);
+  const int n = 32;
+  double adjacent = 0.0;
+  int count = 0;
+  for (int i = 0; i + 1 < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const double x = (i + 0.5) / n, x2 = (i + 1.5) / n, y = (j + 0.5) / n;
+      const auto h1 = hilbert_index_in_domain(Point{x, y}, domain, 5);
+      const auto h2 = hilbert_index_in_domain(Point{x2, y}, domain, 5);
+      adjacent += std::llabs(static_cast<long long>(h1) - static_cast<long long>(h2));
+      ++count;
+    }
+  }
+  adjacent /= count;
+  EXPECT_LT(adjacent, 64.0);  // random pairs would average ~341
+}
+
+}  // namespace
+}  // namespace adr

@@ -1,0 +1,92 @@
+#include "core/planner/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace adr {
+namespace {
+
+using testing::make_grid_scenario;
+
+TEST(BuildMapping, NestedGridHasFanOutOne) {
+  const auto s = make_grid_scenario(4, 2);  // 16 outputs, 64 inputs
+  EXPECT_EQ(s.mapping.num_inputs(), 64u);
+  EXPECT_EQ(s.mapping.num_outputs(), 16u);
+  for (const auto& outs : s.mapping.in_to_out) {
+    EXPECT_EQ(outs.size(), 1u);
+  }
+  EXPECT_DOUBLE_EQ(s.mapping.mean_fan_out(), 1.0);
+  EXPECT_DOUBLE_EQ(s.mapping.mean_fan_in(), 4.0);
+  EXPECT_EQ(s.mapping.edge_count(), 64u);
+}
+
+TEST(BuildMapping, OutToInInvertsInToOut) {
+  const auto s = make_grid_scenario(3, 3);
+  for (std::uint32_t i = 0; i < s.mapping.num_inputs(); ++i) {
+    for (std::uint32_t o : s.mapping.in_to_out[i]) {
+      const auto& ins = s.mapping.out_to_in[o];
+      EXPECT_NE(std::find(ins.begin(), ins.end(), i), ins.end());
+    }
+  }
+  std::size_t edges_via_out = 0;
+  for (const auto& ins : s.mapping.out_to_in) edges_via_out += ins.size();
+  EXPECT_EQ(edges_via_out, s.mapping.edge_count());
+}
+
+TEST(BuildMapping, OverlappingInputsHaveHigherFanOut) {
+  // Input MBRs twice the size of output chunks overlap ~4 outputs.
+  const Rect domain = Rect::cube(2, 0.0, 1.0);
+  std::vector<Rect> outputs;
+  for (int iy = 0; iy < 4; ++iy) {
+    for (int ix = 0; ix < 4; ++ix) outputs.push_back(testing::cell(domain, 4, ix, iy));
+  }
+  std::vector<Rect> inputs;
+  inputs.emplace_back(Point{0.3, 0.3}, Point{0.7, 0.7});  // spans 2x2 inner chunks
+  const ChunkMapping m = build_mapping(inputs, outputs, nullptr);
+  EXPECT_EQ(m.in_to_out[0].size(), 4u);
+}
+
+TEST(BuildMapping, CustomMapFunctionApplied) {
+  // Project 3-D inputs onto the first two dims.
+  const Rect domain = Rect::cube(2, 0.0, 1.0);
+  std::vector<Rect> outputs;
+  for (int iy = 0; iy < 2; ++iy) {
+    for (int ix = 0; ix < 2; ++ix) outputs.push_back(testing::cell(domain, 2, ix, iy));
+  }
+  std::vector<Rect> inputs = {
+      Rect(Point{0.1, 0.1, 5.0}, Point{0.2, 0.2, 6.0}),  // -> output 0
+      Rect(Point{0.8, 0.8, 0.0}, Point{0.9, 0.9, 1.0}),  // -> output 3
+  };
+  IdentityMap drop_time(2);
+  const ChunkMapping m = build_mapping(inputs, outputs, &drop_time);
+  EXPECT_EQ(m.in_to_out[0], (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(m.in_to_out[1], (std::vector<std::uint32_t>{3}));
+}
+
+TEST(BuildMapping, InputOutsideAllOutputsHasNoTargets) {
+  std::vector<Rect> outputs = {Rect::cube(2, 0.0, 1.0)};
+  std::vector<Rect> inputs = {Rect::cube(2, 2.0, 3.0)};
+  const ChunkMapping m = build_mapping(inputs, outputs, nullptr);
+  EXPECT_TRUE(m.in_to_out[0].empty());
+  EXPECT_DOUBLE_EQ(m.mean_fan_out(), 0.0);
+}
+
+TEST(BuildMapping, EmptyInputs) {
+  std::vector<Rect> outputs = {Rect::cube(2, 0.0, 1.0)};
+  const ChunkMapping m = build_mapping({}, outputs, nullptr);
+  EXPECT_EQ(m.num_inputs(), 0u);
+  EXPECT_EQ(m.num_outputs(), 1u);
+  EXPECT_DOUBLE_EQ(m.mean_fan_in(), 0.0);
+}
+
+TEST(BuildMapping, TargetsSortedAscending) {
+  const auto s = make_grid_scenario(4, 1);
+  std::vector<Rect> wide = {Rect::cube(2, 0.0, 1.0)};  // covers everything
+  const ChunkMapping m = build_mapping(wide, s.output_mbrs, nullptr);
+  EXPECT_EQ(m.in_to_out[0].size(), 16u);
+  EXPECT_TRUE(std::is_sorted(m.in_to_out[0].begin(), m.in_to_out[0].end()));
+}
+
+}  // namespace
+}  // namespace adr

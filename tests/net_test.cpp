@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "net/wire.hpp"
+#include "test_helpers.hpp"
+
+namespace adr::net {
+namespace {
+
+// ------------------------------------------------------------- wire
+
+TEST(Wire, PrimitivesRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.f64(-3.25);
+  w.str("hello adr");
+  std::vector<std::byte> blob = {std::byte{1}, std::byte{2}, std::byte{3}};
+  w.bytes(blob);
+  w.rect(Rect(Point{1.0, -2.0, 3.0}, Point{4.0, 5.0, 6.0}));
+
+  const auto buffer = w.take();
+  Reader r(buffer);
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_DOUBLE_EQ(r.f64(), -3.25);
+  EXPECT_EQ(r.str(), "hello adr");
+  EXPECT_EQ(r.bytes(), blob);
+  const Rect rect = r.rect();
+  EXPECT_EQ(rect.dims(), 3);
+  EXPECT_DOUBLE_EQ(rect.lo()[1], -2.0);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Wire, TruncatedFrameThrows) {
+  Writer w;
+  w.u64(42);
+  auto buffer = w.take();
+  buffer.pop_back();
+  Reader r(buffer);
+  EXPECT_THROW(r.u64(), WireError);
+}
+
+TEST(Wire, QueryRoundTrip) {
+  Query q;
+  q.input_dataset = 3;
+  q.extra_input_datasets = {7, 9};
+  q.output_dataset = 4;
+  q.range = Rect(Point{-180.0, -90.0, 0.0}, Point{180.0, 90.0, 10.0});
+  q.map_function = "identity";
+  q.aggregation = "sum-count-max";
+  q.strategy = StrategyKind::kSRA;
+  q.tiling_order = TilingOrder::kRowMajor;
+  q.delivery = OutputDelivery::kReturnToClient;
+  q.write_output = true;
+  q.seed = 12345;
+
+  const Query back = decode_query(encode_query(q));
+  EXPECT_EQ(back.input_dataset, 3u);
+  EXPECT_EQ(back.extra_input_datasets, (std::vector<std::uint32_t>{7, 9}));
+  EXPECT_EQ(back.output_dataset, 4u);
+  EXPECT_EQ(back.range, q.range);
+  EXPECT_EQ(back.map_function, "identity");
+  EXPECT_EQ(back.aggregation, "sum-count-max");
+  EXPECT_EQ(back.strategy, StrategyKind::kSRA);
+  EXPECT_EQ(back.tiling_order, TilingOrder::kRowMajor);
+  EXPECT_EQ(back.delivery, OutputDelivery::kReturnToClient);
+  EXPECT_EQ(back.seed, 12345u);
+}
+
+TEST(Wire, ResultRoundTripWithChunks) {
+  WireResult result;
+  result.strategy = StrategyKind::kDA;
+  result.tiles = 5;
+  result.ghost_chunks = 99;
+  result.chunk_reads = 1234;
+  result.total_s = 17.5;
+  result.bytes_communicated = 1ull << 40;
+  ChunkMeta meta;
+  meta.id = {2, 6};
+  meta.bytes = 8;
+  meta.mbr = Rect::cube(2, 0.0, 1.0);
+  std::vector<std::byte> payload(8, std::byte{0x5a});
+  result.outputs.emplace_back(meta, payload);
+
+  const WireResult back = decode_result(encode_result(result));
+  EXPECT_TRUE(back.ok);
+  EXPECT_EQ(back.strategy, StrategyKind::kDA);
+  EXPECT_EQ(back.tiles, 5);
+  EXPECT_EQ(back.ghost_chunks, 99u);
+  EXPECT_EQ(back.bytes_communicated, 1ull << 40);
+  ASSERT_EQ(back.outputs.size(), 1u);
+  EXPECT_EQ(back.outputs[0].meta().id, (ChunkId{2, 6}));
+  EXPECT_EQ(back.outputs[0].payload(), payload);
+}
+
+TEST(Wire, ErrorResultRoundTrip) {
+  WireResult result;
+  result.ok = false;
+  result.error = "unknown aggregation";
+  const WireResult back = decode_result(encode_result(result));
+  EXPECT_FALSE(back.ok);
+  EXPECT_EQ(back.error, "unknown aggregation");
+}
+
+TEST(Wire, QueryFrameRejectedAsResult) {
+  Query q;
+  q.range = Rect::cube(2, 0.0, 1.0);
+  EXPECT_THROW(decode_result(encode_query(q)), WireError);
+  WireResult result;
+  EXPECT_THROW(decode_query(encode_result(result)), WireError);
+}
+
+// ----------------------------------------------------- client/server
+
+struct ServerFixture {
+  Repository repo;
+  std::uint32_t in = 0;
+  std::uint32_t out = 0;
+  AdrServer server;
+
+  ServerFixture()
+      : repo([] {
+          RepositoryConfig cfg;
+          cfg.backend = RepositoryConfig::Backend::kThreads;
+          cfg.num_nodes = 2;
+          cfg.memory_per_node = 1 << 20;
+          return cfg;
+        }()),
+        server(repo, /*port=*/0) {
+    const Rect domain = Rect::cube(2, 0.0, 1.0);
+    std::vector<Chunk> inputs;
+    for (int iy = 0; iy < 4; ++iy) {
+      for (int ix = 0; ix < 4; ++ix) {
+        ChunkMeta meta;
+        meta.mbr = adr::testing::cell(domain, 4, ix, iy);
+        std::vector<std::uint64_t> vals = {static_cast<std::uint64_t>(iy * 4 + ix)};
+        std::vector<std::byte> payload(sizeof(std::uint64_t));
+        std::memcpy(payload.data(), vals.data(), payload.size());
+        inputs.emplace_back(meta, std::move(payload));
+      }
+    }
+    std::vector<Chunk> outputs;
+    for (int iy = 0; iy < 2; ++iy) {
+      for (int ix = 0; ix < 2; ++ix) {
+        ChunkMeta meta;
+        meta.mbr = adr::testing::cell(domain, 2, ix, iy);
+        outputs.emplace_back(meta, std::vector<std::byte>(24, std::byte{0}));
+      }
+    }
+    in = repo.create_dataset("in", domain, std::move(inputs));
+    out = repo.create_dataset("out", domain, std::move(outputs));
+    server.start();
+  }
+
+  Query basic_query() const {
+    Query q;
+    q.input_dataset = in;
+    q.output_dataset = out;
+    q.range = Rect::cube(2, 0.0, 1.0);
+    q.aggregation = "sum-count-max";
+    q.delivery = OutputDelivery::kReturnToClient;
+    return q;
+  }
+};
+
+TEST(ClientServer, QueryOverLoopback) {
+  ServerFixture fx;
+  AdrClient client(fx.server.port());
+  const WireResult result = client.submit(fx.basic_query());
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.outputs.size(), 4u);
+  std::uint64_t sum = 0;
+  for (const Chunk& c : result.outputs) sum += c.as<std::uint64_t>()[0];
+  EXPECT_EQ(sum, 120u);  // sum of 0..15
+  EXPECT_EQ(fx.server.queries_served(), 1u);
+}
+
+TEST(ClientServer, MultipleQueriesOnOneConnection) {
+  ServerFixture fx;
+  AdrClient client(fx.server.port());
+  for (StrategyKind s : {StrategyKind::kFRA, StrategyKind::kSRA, StrategyKind::kDA}) {
+    Query q = fx.basic_query();
+    q.strategy = s;
+    const WireResult result = client.submit(q);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.strategy, s);
+  }
+  EXPECT_EQ(fx.server.queries_served(), 3u);
+}
+
+TEST(ClientServer, SequentialClients) {
+  ServerFixture fx;
+  for (int c = 0; c < 3; ++c) {
+    AdrClient client(fx.server.port());
+    const WireResult result = client.submit(fx.basic_query());
+    EXPECT_TRUE(result.ok);
+  }
+  EXPECT_EQ(fx.server.queries_served(), 3u);
+}
+
+TEST(ClientServer, ServerSideErrorReturnedToClient) {
+  ServerFixture fx;
+  AdrClient client(fx.server.port());
+  Query q = fx.basic_query();
+  q.aggregation = "no-such-op";
+  const WireResult result = client.submit(q);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("unknown aggregation"), std::string::npos);
+  // The connection survives an error; a good query still works.
+  EXPECT_TRUE(client.submit(fx.basic_query()).ok);
+}
+
+TEST(ClientServer, StopUnblocksAndRefusesNewClients) {
+  ServerFixture fx;
+  const std::uint16_t port = fx.server.port();
+  fx.server.stop();
+  EXPECT_THROW(AdrClient{port}, std::runtime_error);
+}
+
+TEST(ClientServer, ConnectToClosedPortFails) {
+  // An ephemeral port that nothing listens on.
+  Repository repo([] {
+    RepositoryConfig cfg;
+    cfg.num_nodes = 1;
+    return cfg;
+  }());
+  AdrServer probe(repo, 0);
+  const std::uint16_t dead_port = probe.port();
+  probe.stop();  // release without ever starting
+  EXPECT_THROW(AdrClient{dead_port}, std::runtime_error);
+}
+
+}  // namespace
+}  // namespace adr::net

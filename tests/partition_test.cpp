@@ -1,0 +1,138 @@
+#include "storage/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "common/random.hpp"
+
+namespace adr {
+namespace {
+
+std::vector<Item> random_items(int n, std::uint64_t seed, std::size_t payload_bytes) {
+  Rng rng(seed);
+  std::vector<Item> items;
+  for (int i = 0; i < n; ++i) {
+    Item item;
+    item.position = Point{rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)};
+    item.payload.assign(payload_bytes, std::byte{static_cast<unsigned char>(i)});
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+TEST(PartitionItems, EmptyInput) {
+  EXPECT_TRUE(partition_items({}, Rect::cube(2, 0.0, 1.0)).empty());
+}
+
+TEST(PartitionItems, RespectsTargetChunkSize) {
+  PartitionOptions options;
+  options.target_chunk_bytes = 256;
+  const auto chunks =
+      partition_items(random_items(100, 1, 64), Rect::cube(2, 0.0, 1.0), options);
+  for (const Chunk& c : chunks) {
+    EXPECT_LE(c.payload().size(), 256u);
+    EXPECT_GE(c.payload().size(), 64u);  // at least one item
+    EXPECT_EQ(c.meta().bytes, c.payload().size());
+  }
+}
+
+TEST(PartitionItems, PreservesEveryByte) {
+  const int n = 77;
+  PartitionOptions options;
+  options.target_chunk_bytes = 200;
+  const auto chunks =
+      partition_items(random_items(n, 2, 32), Rect::cube(2, 0.0, 1.0), options);
+  std::size_t total = 0;
+  for (const Chunk& c : chunks) total += c.payload().size();
+  EXPECT_EQ(total, static_cast<std::size_t>(n) * 32u);
+}
+
+TEST(PartitionItems, MbrsCoverItemPositions) {
+  auto items = random_items(200, 3, 16);
+  const auto positions = [&]() {
+    std::vector<Point> p;
+    for (const Item& item : items) p.push_back(item.position);
+    return p;
+  }();
+  const auto chunks = partition_items(std::move(items), Rect::cube(2, 0.0, 1.0));
+  Rect all;
+  for (const Chunk& c : chunks) all = Rect::join(all, c.meta().mbr);
+  for (const Point& p : positions) EXPECT_TRUE(all.contains(p));
+}
+
+TEST(PartitionItems, OversizedItemGetsOwnChunk) {
+  std::vector<Item> items;
+  for (int i = 0; i < 3; ++i) {
+    Item item;
+    item.position = Point{0.1 * i, 0.1 * i};
+    item.payload.assign(1000, std::byte{1});  // larger than target
+    items.push_back(std::move(item));
+  }
+  PartitionOptions options;
+  options.target_chunk_bytes = 100;
+  const auto chunks = partition_items(std::move(items), Rect::cube(2, 0.0, 1.0), options);
+  EXPECT_EQ(chunks.size(), 3u);
+}
+
+TEST(PartitionItems, HilbertOrderKeepsChunksCompact) {
+  // Hilbert-split chunking must produce less MBR overlap than chunking
+  // items in arrival (random) order.
+  auto items = random_items(1000, 4, 16);
+  PartitionOptions options;
+  options.target_chunk_bytes = 20 * 16;
+  const auto hilbert = partition_items(items, Rect::cube(2, 0.0, 1.0), options);
+
+  // Baseline: split in input order (simulate by assigning runs directly).
+  std::vector<Chunk> naive;
+  std::vector<std::byte> payload;
+  Rect mbr;
+  for (const Item& item : items) {
+    if (payload.size() + item.payload.size() > options.target_chunk_bytes &&
+        !payload.empty()) {
+      ChunkMeta meta;
+      meta.mbr = mbr;
+      meta.bytes = payload.size();
+      naive.emplace_back(meta, std::move(payload));
+      payload = {};
+      mbr = Rect();
+    }
+    payload.insert(payload.end(), item.payload.begin(), item.payload.end());
+    mbr = Rect::join(mbr, Rect(item.position, item.position));
+  }
+  if (!payload.empty()) {
+    ChunkMeta meta;
+    meta.mbr = mbr;
+    meta.bytes = payload.size();
+    naive.emplace_back(meta, std::move(payload));
+  }
+
+  EXPECT_LT(partition_overlap(hilbert), 0.2 * partition_overlap(naive));
+}
+
+TEST(PartitionGrid, ShapePayloadsAndDisjointness) {
+  int called = 0;
+  const auto chunks = partition_grid(
+      Rect::cube(2, 0.0, 10.0), 4, 3, [&called](int ix, int iy) {
+        ++called;
+        return std::vector<std::byte>(static_cast<size_t>(ix + iy + 1), std::byte{0});
+      });
+  EXPECT_EQ(called, 12);
+  EXPECT_EQ(chunks.size(), 12u);
+  EXPECT_EQ(chunks[0].payload().size(), 1u);
+  for (std::size_t a = 0; a < chunks.size(); ++a) {
+    for (std::size_t b = a + 1; b < chunks.size(); ++b) {
+      EXPECT_FALSE(chunks[a].meta().mbr.intersects(chunks[b].meta().mbr));
+    }
+  }
+}
+
+TEST(PartitionOverlap, DisjointIsZero) {
+  const auto grid = partition_grid(Rect::cube(2, 0.0, 1.0), 3, 3,
+                                   [](int, int) { return std::vector<std::byte>(8); });
+  EXPECT_DOUBLE_EQ(partition_overlap(grid), 0.0);
+}
+
+}  // namespace
+}  // namespace adr

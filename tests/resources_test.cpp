@@ -1,0 +1,128 @@
+#include "sim/resources.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace adr::sim {
+namespace {
+
+TEST(FcfsResource, SerializesRequests) {
+  Simulation sim;
+  FcfsResource r(&sim, "cpu");
+  std::vector<SimTime> done;
+  r.acquire(100, [&]() { done.push_back(sim.now()); });
+  r.acquire(50, [&]() { done.push_back(sim.now()); });
+  sim.run();
+  // Second request waits for the first: completes at 100 + 50.
+  EXPECT_EQ(done, (std::vector<SimTime>{100, 150}));
+  EXPECT_EQ(r.busy_time(), 150);
+  EXPECT_EQ(r.requests(), 2u);
+}
+
+TEST(FcfsResource, IdleGapThenRequest) {
+  Simulation sim;
+  FcfsResource r(&sim, "cpu");
+  SimTime done = -1;
+  sim.schedule(500, [&]() { r.acquire(10, [&]() { done = sim.now(); }); });
+  sim.run();
+  EXPECT_EQ(done, 510);
+  EXPECT_EQ(r.busy_time(), 10);
+}
+
+TEST(FcfsResource, UtilizationFraction) {
+  Simulation sim;
+  FcfsResource r(&sim, "cpu");
+  r.acquire(25, []() {});
+  sim.run();
+  EXPECT_DOUBLE_EQ(r.utilization(100), 0.25);
+  EXPECT_DOUBLE_EQ(r.utilization(0), 0.0);
+}
+
+TEST(FcfsResource, ZeroServiceCompletesImmediately) {
+  Simulation sim;
+  FcfsResource r(&sim, "cpu");
+  SimTime done = -1;
+  r.acquire(0, [&]() { done = sim.now(); });
+  sim.run();
+  EXPECT_EQ(done, 0);
+}
+
+TEST(DiskModel, ServiceTimeIsSeekPlusTransfer) {
+  Simulation sim;
+  DiskParams params;
+  params.seek = from_millis(10.0);
+  params.bandwidth_bytes_per_sec = 1'000'000.0;  // 1 MB/s
+  DiskModel disk(&sim, "d0", params);
+  // 500 KB at 1 MB/s = 0.5 s transfer + 10 ms seek.
+  EXPECT_EQ(disk.service_time(500'000), from_millis(510.0));
+}
+
+TEST(DiskModel, ReadsQueueAndCountBytes) {
+  Simulation sim;
+  DiskParams params;
+  params.seek = 0;
+  params.bandwidth_bytes_per_sec = 1'000'000.0;
+  DiskModel disk(&sim, "d0", params);
+  std::vector<SimTime> done;
+  disk.read(1'000'000, [&]() { done.push_back(sim.now()); });
+  disk.read(1'000'000, [&]() { done.push_back(sim.now()); });
+  disk.write(500'000, [&]() { done.push_back(sim.now()); });
+  sim.run();
+  EXPECT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0], from_seconds(1.0));
+  EXPECT_EQ(done[1], from_seconds(2.0));
+  EXPECT_EQ(done[2], from_seconds(2.5));
+  EXPECT_EQ(disk.bytes_read(), 2'000'000u);
+  EXPECT_EQ(disk.bytes_written(), 500'000u);
+}
+
+TEST(NicModel, DeliversAfterSerializationAndLatency) {
+  Simulation sim;
+  LinkParams params;
+  params.latency = from_micros(100.0);
+  params.bandwidth_bytes_per_sec = 1'000'000.0;
+  NicModel a(&sim, "a", params), b(&sim, "b", params);
+  SimTime delivered = -1;
+  a.send(b, 1'000'000, [&]() { delivered = sim.now(); });
+  sim.run();
+  // 1 s egress serialization + 100 us latency + 1 s ingress.
+  EXPECT_EQ(delivered, from_seconds(2.0) + from_micros(100.0));
+  EXPECT_EQ(a.bytes_sent(), 1'000'000u);
+  EXPECT_EQ(b.bytes_received(), 1'000'000u);
+}
+
+TEST(NicModel, EgressSerializesConcurrentSends) {
+  Simulation sim;
+  LinkParams params;
+  params.latency = 0;
+  params.bandwidth_bytes_per_sec = 1'000'000.0;
+  NicModel a(&sim, "a", params), b(&sim, "b", params), c(&sim, "c", params);
+  std::vector<SimTime> done;
+  a.send(b, 1'000'000, [&]() { done.push_back(sim.now()); });
+  a.send(c, 1'000'000, [&]() { done.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  // Second message leaves a's egress a second later.
+  EXPECT_EQ(done[0], from_seconds(2.0));
+  EXPECT_EQ(done[1], from_seconds(3.0));
+}
+
+TEST(NicModel, IngressContendsAcrossSenders) {
+  Simulation sim;
+  LinkParams params;
+  params.latency = 0;
+  params.bandwidth_bytes_per_sec = 1'000'000.0;
+  NicModel a(&sim, "a", params), b(&sim, "b", params), dst(&sim, "dst", params);
+  std::vector<SimTime> done;
+  a.send(dst, 1'000'000, [&]() { done.push_back(sim.now()); });
+  b.send(dst, 1'000'000, [&]() { done.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  // Both arrive at the ingress at t=1s; the second queues behind.
+  EXPECT_EQ(done[0], from_seconds(2.0));
+  EXPECT_EQ(done[1], from_seconds(3.0));
+}
+
+}  // namespace
+}  // namespace adr::sim

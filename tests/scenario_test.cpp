@@ -1,0 +1,154 @@
+#include "emulator/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adr::emu {
+namespace {
+
+TEST(PaperScenario, Table1Parameters) {
+  const PaperScenario sat = paper_scenario(PaperApp::kSat);
+  EXPECT_EQ(sat.base_chunks, 9000);
+  EXPECT_DOUBLE_EQ(sat.costs.lr_pair, 0.040);
+  EXPECT_DOUBLE_EQ(sat.costs.gc, 0.020);
+
+  const PaperScenario wcs = paper_scenario(PaperApp::kWcs);
+  EXPECT_EQ(wcs.base_chunks, 7500);
+  EXPECT_DOUBLE_EQ(wcs.costs.lr_pair, 0.020);
+
+  const PaperScenario vm = paper_scenario(PaperApp::kVm);
+  EXPECT_EQ(vm.base_chunks, 4096);
+  EXPECT_DOUBLE_EQ(vm.costs.lr_pair, 0.005);
+}
+
+TEST(PaperScenario, BaseDatasetSizesMatchPaper) {
+  // Table 1: SAT 1.6 GB, WCS 1.7 GB, VM 1.5 GB (within 10%).
+  for (auto [app, gb] : {std::pair{PaperApp::kSat, 1.6},
+                         std::pair{PaperApp::kWcs, 1.7},
+                         std::pair{PaperApp::kVm, 1.5}}) {
+    const PaperScenario s = paper_scenario(app);
+    const EmulatedApp a = build_app(s, s.base_chunks, 1);
+    EXPECT_NEAR(static_cast<double>(a.input_bytes()) / 1e9, gb, 0.25)
+        << to_string(app);
+  }
+}
+
+TEST(RunExperiment, SmallSatRunsAndReports) {
+  ExperimentConfig cfg;
+  cfg.app = PaperApp::kSat;
+  cfg.nodes = 4;
+  cfg.input_chunks = 1000;
+  cfg.strategy = StrategyKind::kFRA;
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_GT(r.stats.total_s, 0.0);
+  EXPECT_GE(r.tiles, 1);
+  EXPECT_EQ(r.input_chunks, 1000);
+  EXPECT_EQ(r.output_chunks, 256);
+  EXPECT_GT(r.fan_out, 1.0);
+  EXPECT_GT(r.predicted.total_s, 0.0);
+  EXPECT_EQ(r.stats.nodes.size(), 4u);
+}
+
+TEST(RunExperiment, ScaledGrowsInput) {
+  ExperimentConfig fixed;
+  fixed.app = PaperApp::kVm;
+  fixed.nodes = 16;
+  ExperimentConfig scaled = fixed;
+  scaled.scaled = true;
+  const ExperimentResult rf = run_experiment(fixed);
+  const ExperimentResult rs = run_experiment(scaled);
+  EXPECT_GT(rs.input_chunks, rf.input_chunks);
+}
+
+TEST(RunExperiment, DeterministicAcrossRuns) {
+  ExperimentConfig cfg;
+  cfg.app = PaperApp::kWcs;
+  cfg.nodes = 4;
+  cfg.input_chunks = 600;
+  cfg.strategy = StrategyKind::kSRA;
+  const ExperimentResult a = run_experiment(cfg);
+  const ExperimentResult b = run_experiment(cfg);
+  EXPECT_DOUBLE_EQ(a.stats.total_s, b.stats.total_s);
+  EXPECT_EQ(a.stats.total_bytes_sent(), b.stats.total_bytes_sent());
+  EXPECT_EQ(a.tiles, b.tiles);
+}
+
+TEST(RunExperiment, StrategiesDifferInCommunicationShape) {
+  // DA communicates input chunks; FRA communicates accumulator chunks.
+  ExperimentConfig cfg;
+  cfg.app = PaperApp::kSat;
+  cfg.nodes = 8;
+  cfg.input_chunks = 2000;
+  cfg.strategy = StrategyKind::kFRA;
+  const ExperimentResult fra = run_experiment(cfg);
+  cfg.strategy = StrategyKind::kDA;
+  const ExperimentResult da = run_experiment(cfg);
+  EXPECT_EQ(da.ghost_chunks, 0u);
+  EXPECT_GT(fra.ghost_chunks, 0u);
+  EXPECT_GT(da.stats.total_bytes_sent(), 0u);
+  EXPECT_GT(fra.stats.total_bytes_sent(), 0u);
+}
+
+TEST(RunExperiment, MoreNodesFasterAtFixedInput) {
+  ExperimentConfig cfg;
+  cfg.app = PaperApp::kVm;
+  cfg.nodes = 2;
+  cfg.input_chunks = 1024;
+  cfg.strategy = StrategyKind::kFRA;
+  const double t2 = run_experiment(cfg).stats.total_s;
+  cfg.nodes = 8;
+  const double t8 = run_experiment(cfg).stats.total_s;
+  EXPECT_LT(t8, t2);
+}
+
+TEST(RunExperiment, QueryFractionShrinksSelection) {
+  emu::ExperimentConfig cfg;
+  cfg.app = emu::PaperApp::kVm;
+  cfg.nodes = 4;
+  cfg.input_chunks = 1024;
+  const emu::ExperimentResult full = run_experiment(cfg);
+  cfg.query_fraction = 0.5;
+  const emu::ExperimentResult half = run_experiment(cfg);
+  EXPECT_EQ(full.selected_inputs, 1024);
+  EXPECT_EQ(full.selected_outputs, 256);
+  EXPECT_LT(half.selected_inputs, full.selected_inputs / 3);
+  EXPECT_LT(half.selected_outputs, full.selected_outputs / 3);
+  EXPECT_LT(half.stats.total_s, full.stats.total_s / 2.0);
+}
+
+TEST(RunExperiment, BufferCacheSpeedsUpReReads) {
+  // SAT + FRA re-reads tile-straddling chunks; an ample per-node cache
+  // absorbs those second reads, so I/O-bound phases cannot get slower.
+  emu::ExperimentConfig cfg;
+  cfg.app = emu::PaperApp::kSat;
+  cfg.nodes = 4;
+  cfg.input_chunks = 1500;
+  cfg.strategy = StrategyKind::kFRA;
+  const emu::ExperimentResult cold = run_experiment(cfg);
+  cfg.disk_cache_bytes = 512ull << 20;
+  const emu::ExperimentResult warm = run_experiment(cfg);
+  EXPECT_GT(cold.chunk_reads, static_cast<std::uint64_t>(cold.selected_inputs));
+  EXPECT_LE(warm.stats.total_s, cold.stats.total_s + 1e-9);
+}
+
+TEST(RunExperiment, MoreDisksPerNodeNeverSlower) {
+  // With 4 disks per node the disk farm quadruples; I/O-bound phases
+  // shrink and compute-bound ones stay put.
+  emu::ExperimentConfig cfg;
+  cfg.app = emu::PaperApp::kVm;  // VM is I/O-heavy (cheap compute)
+  cfg.nodes = 4;
+  cfg.input_chunks = 1024;
+  cfg.strategy = StrategyKind::kDA;
+  const emu::ExperimentResult one = run_experiment(cfg);
+  cfg.disks_per_node = 4;
+  const emu::ExperimentResult four = run_experiment(cfg);
+  EXPECT_LT(four.stats.total_s, one.stats.total_s);
+}
+
+TEST(RunExperiment, ToStringNames) {
+  EXPECT_EQ(to_string(PaperApp::kSat), "SAT");
+  EXPECT_EQ(to_string(PaperApp::kWcs), "WCS");
+  EXPECT_EQ(to_string(PaperApp::kVm), "VM");
+}
+
+}  // namespace
+}  // namespace adr::emu

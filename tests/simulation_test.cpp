@@ -1,0 +1,81 @@
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace adr::sim {
+namespace {
+
+TEST(Simulation, ClockAdvancesToEventTimes) {
+  Simulation sim;
+  std::vector<SimTime> seen;
+  sim.schedule(100, [&]() { seen.push_back(sim.now()); });
+  sim.schedule(50, [&]() { seen.push_back(sim.now()); });
+  const SimTime end = sim.run();
+  EXPECT_EQ(seen, (std::vector<SimTime>{50, 100}));
+  EXPECT_EQ(end, 100);
+}
+
+TEST(Simulation, EventsScheduleMoreEvents) {
+  Simulation sim;
+  int fired = 0;
+  std::function<void()> chain = [&]() {
+    ++fired;
+    if (fired < 5) sim.schedule(10, chain);
+  };
+  sim.schedule(10, chain);
+  sim.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.now(), 50);
+}
+
+TEST(Simulation, ZeroDelayRunsAtCurrentTime) {
+  Simulation sim;
+  SimTime at = -1;
+  sim.schedule(25, [&]() { sim.schedule(0, [&]() { at = sim.now(); }); });
+  sim.run();
+  EXPECT_EQ(at, 25);
+}
+
+TEST(Simulation, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule(10, [&]() { ++fired; });
+  sim.schedule(20, [&]() { ++fired; });
+  sim.schedule(30, [&]() { ++fired; });
+  sim.run_until(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 20);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulation, StepExecutesExactlyN) {
+  Simulation sim;
+  int fired = 0;
+  for (int i = 0; i < 5; ++i) sim.schedule(i + 1, [&]() { ++fired; });
+  EXPECT_EQ(sim.step(2), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.step(10), 3u);
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(Simulation, CountsExecutedEvents) {
+  Simulation sim;
+  for (int i = 0; i < 7; ++i) sim.schedule(i, []() {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+TEST(Simulation, ScheduleAtAbsoluteTime) {
+  Simulation sim;
+  SimTime at = -1;
+  sim.schedule(10, [&]() { sim.schedule_at(99, [&]() { at = sim.now(); }); });
+  sim.run();
+  EXPECT_EQ(at, 99);
+}
+
+}  // namespace
+}  // namespace adr::sim

@@ -1,0 +1,133 @@
+#include "storage/spatial_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "storage/dataset.hpp"
+
+namespace adr {
+namespace {
+
+std::vector<Rect> random_rects(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Rect> rects;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.uniform(0.0, 100.0), y = rng.uniform(0.0, 100.0);
+    rects.emplace_back(Point{x, y}, Point{x + rng.uniform(0.1, 4.0),
+                                          y + rng.uniform(0.1, 4.0)});
+  }
+  return rects;
+}
+
+std::vector<std::uint32_t> brute(const std::vector<Rect>& rects, const Rect& q) {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i = 0; i < rects.size(); ++i) {
+    if (rects[i].intersects(q)) out.push_back(i);
+  }
+  return out;
+}
+
+class SpatialIndexTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<SpatialIndex> make() const { return IndexRegistry().create(GetParam()); }
+};
+
+TEST_P(SpatialIndexTest, EmptyIndex) {
+  auto index = make();
+  index->build({});
+  EXPECT_EQ(index->size(), 0u);
+  EXPECT_TRUE(index->query(Rect::cube(2, 0.0, 1.0)).empty());
+}
+
+TEST_P(SpatialIndexTest, MatchesBruteForce) {
+  const auto rects = random_rects(400, 11);
+  auto index = make();
+  index->build(rects);
+  EXPECT_EQ(index->size(), 400u);
+  Rng rng(12);
+  for (int q = 0; q < 40; ++q) {
+    const double x = rng.uniform(0.0, 90.0), y = rng.uniform(0.0, 90.0);
+    const Rect query(Point{x, y}, Point{x + rng.uniform(1.0, 25.0),
+                                        y + rng.uniform(1.0, 25.0)});
+    EXPECT_EQ(index->query(query), brute(rects, query));
+  }
+}
+
+TEST_P(SpatialIndexTest, RebuildReplacesContents) {
+  auto index = make();
+  index->build(random_rects(50, 13));
+  index->build({Rect::cube(2, 0.0, 1.0)});
+  EXPECT_EQ(index->size(), 1u);
+  EXPECT_EQ(index->query(Rect::cube(2, 0.0, 2.0)).size(), 1u);
+}
+
+TEST_P(SpatialIndexTest, QueryOutsideBoundsEmpty) {
+  const auto rects = random_rects(100, 14);
+  auto index = make();
+  index->build(rects);
+  EXPECT_TRUE(index->query(Rect::cube(2, 500.0, 600.0)).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, SpatialIndexTest, ::testing::Values("rtree", "grid"));
+
+TEST(GridIndex, HandlesDuplicatesAndSharedCells) {
+  std::vector<Rect> rects(30, Rect(Point{5.0, 5.0}, Point{6.0, 6.0}));
+  GridIndex index(4);
+  index.build(rects);
+  EXPECT_EQ(index.query(Rect::cube(2, 0.0, 10.0)).size(), 30u);
+  EXPECT_EQ(index.cells_per_side(), 4);
+}
+
+TEST(GridIndex, AutoCellCountScales) {
+  GridIndex index;
+  index.build(random_rects(900, 15));
+  EXPECT_NEAR(index.cells_per_side(), 30, 2);
+}
+
+TEST(IndexRegistry, BuiltInsPresent) {
+  IndexRegistry registry;
+  EXPECT_TRUE(registry.contains("rtree"));
+  EXPECT_TRUE(registry.contains("grid"));
+  EXPECT_EQ(registry.names(), (std::vector<std::string>{"grid", "rtree"}));
+  EXPECT_THROW(registry.create("nope"), std::invalid_argument);
+}
+
+TEST(IndexRegistry, UserProvidedIndexRegisters) {
+  class OneCell : public SpatialIndex {
+   public:
+    std::string name() const override { return "one-cell"; }
+    void build(const std::vector<Rect>& mbrs) override { n_ = mbrs.size(); }
+    std::vector<std::uint32_t> query(const Rect&) const override {
+      std::vector<std::uint32_t> all(n_);
+      for (std::uint32_t i = 0; i < n_; ++i) all[i] = i;
+      return all;
+    }
+    std::size_t size() const override { return n_; }
+
+   private:
+    std::size_t n_ = 0;
+  };
+  IndexRegistry registry;
+  registry.register_index("one-cell", []() { return std::make_unique<OneCell>(); });
+  auto index = registry.create("one-cell");
+  index->build({Rect::cube(2, 0.0, 1.0), Rect::cube(2, 2.0, 3.0)});
+  EXPECT_EQ(index->query(Rect::cube(2, 9.0, 10.0)).size(), 2u);
+}
+
+TEST(Dataset, CustomIndexThroughBuildIndex) {
+  std::vector<ChunkMeta> metas;
+  for (int i = 0; i < 8; ++i) {
+    ChunkMeta m;
+    m.id = {0, static_cast<std::uint32_t>(i)};
+    m.mbr = Rect(Point{static_cast<double>(i), 0.0}, Point{i + 0.9, 1.0});
+    metas.push_back(m);
+  }
+  Dataset ds(0, "g", Rect(Point{0.0, 0.0}, Point{8.0, 1.0}), metas);
+  ds.build_index(std::make_unique<GridIndex>());
+  EXPECT_STREQ(ds.index()->name().c_str(), "grid");
+  EXPECT_EQ(ds.find_chunks(Rect(Point{2.5, 0.0}, Point{3.5, 1.0})),
+            (std::vector<std::uint32_t>{2, 3}));
+}
+
+}  // namespace
+}  // namespace adr

@@ -1,0 +1,57 @@
+#include "common/stats_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adr {
+namespace {
+
+TEST(Summarize, EmptyIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.total, 0.0);
+}
+
+TEST(Summarize, SingleValue) {
+  const double v[] = {42.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.min, 42.0);
+  EXPECT_DOUBLE_EQ(s.max, 42.0);
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Summarize, KnownMoments) {
+  const double v[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);  // classic population-stddev example
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.total, 40.0);
+}
+
+TEST(Imbalance, BalancedIsOne) {
+  const double v[] = {3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(imbalance(v), 1.0);
+}
+
+TEST(Imbalance, SkewGreaterThanOne) {
+  const double v[] = {1.0, 1.0, 4.0};
+  EXPECT_DOUBLE_EQ(imbalance(v), 2.0);
+}
+
+TEST(Imbalance, AllZeroIsZero) {
+  const double v[] = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(imbalance(v), 0.0);
+}
+
+TEST(SummaryToString, MentionsFields) {
+  const double v[] = {1.0, 2.0};
+  const std::string s = summarize(v).to_string();
+  EXPECT_NE(s.find("mean=1.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adr

@@ -1,0 +1,66 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adr {
+namespace {
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t({"App", "P=8", "P=16"});
+  t.add_row({"SAT", "1.0", "2.0"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("App"), std::string::npos);
+  EXPECT_NE(s.find("SAT"), std::string::npos);
+  EXPECT_NE(s.find("P=16"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(Table, DoubleRowFormatsPrecision) {
+  Table t({"name", "a", "b"});
+  const double values[] = {1.23456, 2.0};
+  t.add_row("row", values, 2);
+  EXPECT_NE(t.to_string().find("1.23"), std::string::npos);
+  EXPECT_NE(t.to_string().find("2.00"), std::string::npos);
+}
+
+TEST(Table, ColumnsAligned) {
+  Table t({"x", "value"});
+  t.add_row({"longlonglong", "1"});
+  t.add_row({"s", "22222"});
+  const std::string s = t.to_string();
+  // All lines have equal length (aligned markdown-ish table).
+  std::size_t first_len = s.find('\n');
+  std::size_t pos = first_len + 1;
+  while (pos < s.size()) {
+    std::size_t next = s.find('\n', pos);
+    if (next == std::string::npos) break;
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(FmtBytes, PicksUnit) {
+  EXPECT_EQ(fmt_bytes(512), "512.00 B");
+  EXPECT_EQ(fmt_bytes(2048), "2.05 KB");
+  EXPECT_EQ(fmt_bytes(3.5e6), "3.50 MB");
+  EXPECT_EQ(fmt_bytes(1.2e9), "1.20 GB");
+}
+
+TEST(Sparkline, ScalesToRange) {
+  const double flat[] = {1.0, 1.0, 1.0};
+  const std::string s = sparkline(flat);
+  EXPECT_FALSE(s.empty());
+  const double ramp[] = {0.0, 1.0};
+  const std::string r = sparkline(ramp);
+  EXPECT_EQ(r, "▁█");
+}
+
+TEST(Sparkline, EmptyInput) { EXPECT_EQ(sparkline({}), ""); }
+
+}  // namespace
+}  // namespace adr
