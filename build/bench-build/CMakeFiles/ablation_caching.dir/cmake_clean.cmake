@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_caching"
+  "../bench/ablation_caching.pdb"
+  "CMakeFiles/ablation_caching.dir/ablation_caching.cpp.o"
+  "CMakeFiles/ablation_caching.dir/ablation_caching.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

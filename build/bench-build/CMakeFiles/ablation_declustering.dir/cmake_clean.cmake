@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_declustering"
+  "../bench/ablation_declustering.pdb"
+  "CMakeFiles/ablation_declustering.dir/ablation_declustering.cpp.o"
+  "CMakeFiles/ablation_declustering.dir/ablation_declustering.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_declustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

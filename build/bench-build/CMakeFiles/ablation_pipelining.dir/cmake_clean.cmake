@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_pipelining"
+  "../bench/ablation_pipelining.pdb"
+  "CMakeFiles/ablation_pipelining.dir/ablation_pipelining.cpp.o"
+  "CMakeFiles/ablation_pipelining.dir/ablation_pipelining.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pipelining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

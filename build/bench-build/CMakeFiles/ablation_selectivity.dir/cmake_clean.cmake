@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_selectivity"
+  "../bench/ablation_selectivity.pdb"
+  "CMakeFiles/ablation_selectivity.dir/ablation_selectivity.cpp.o"
+  "CMakeFiles/ablation_selectivity.dir/ablation_selectivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

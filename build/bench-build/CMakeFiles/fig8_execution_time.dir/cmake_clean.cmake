@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_execution_time"
+  "../bench/fig8_execution_time.pdb"
+  "CMakeFiles/fig8_execution_time.dir/fig8_execution_time.cpp.o"
+  "CMakeFiles/fig8_execution_time.dir/fig8_execution_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_execution_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

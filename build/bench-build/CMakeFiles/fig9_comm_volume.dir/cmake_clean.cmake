@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_comm_volume"
+  "../bench/fig9_comm_volume.pdb"
+  "CMakeFiles/fig9_comm_volume.dir/fig9_comm_volume.cpp.o"
+  "CMakeFiles/fig9_comm_volume.dir/fig9_comm_volume.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_comm_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

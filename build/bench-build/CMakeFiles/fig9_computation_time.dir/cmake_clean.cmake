@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_computation_time"
+  "../bench/fig9_computation_time.pdb"
+  "CMakeFiles/fig9_computation_time.dir/fig9_computation_time.cpp.o"
+  "CMakeFiles/fig9_computation_time.dir/fig9_computation_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_computation_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_hilbert"
+  "../bench/micro_hilbert.pdb"
+  "CMakeFiles/micro_hilbert.dir/micro_hilbert.cpp.o"
+  "CMakeFiles/micro_hilbert.dir/micro_hilbert.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_hilbert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_rtree"
+  "../bench/micro_rtree.pdb"
+  "CMakeFiles/micro_rtree.dir/micro_rtree.cpp.o"
+  "CMakeFiles/micro_rtree.dir/micro_rtree.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_rtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_characteristics"
+  "../bench/table1_characteristics.pdb"
+  "CMakeFiles/table1_characteristics.dir/table1_characteristics.cpp.o"
+  "CMakeFiles/table1_characteristics.dir/table1_characteristics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

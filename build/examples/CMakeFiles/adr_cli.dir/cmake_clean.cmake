@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adr_cli.dir/adr_cli.cpp.o"
+  "CMakeFiles/adr_cli.dir/adr_cli.cpp.o.d"
+  "adr_cli"
+  "adr_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistent_repository.dir/persistent_repository.cpp.o"
+  "CMakeFiles/persistent_repository.dir/persistent_repository.cpp.o.d"
+  "persistent_repository"
+  "persistent_repository.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistent_repository.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

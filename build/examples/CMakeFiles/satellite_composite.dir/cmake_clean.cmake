@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satellite_composite.dir/satellite_composite.cpp.o"
+  "CMakeFiles/satellite_composite.dir/satellite_composite.cpp.o.d"
+  "satellite_composite"
+  "satellite_composite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satellite_composite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

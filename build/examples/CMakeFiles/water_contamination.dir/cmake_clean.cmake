@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/water_contamination.dir/water_contamination.cpp.o"
+  "CMakeFiles/water_contamination.dir/water_contamination.cpp.o.d"
+  "water_contamination"
+  "water_contamination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/water_contamination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

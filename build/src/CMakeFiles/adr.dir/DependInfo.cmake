@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/geometry.cpp" "src/CMakeFiles/adr.dir/common/geometry.cpp.o" "gcc" "src/CMakeFiles/adr.dir/common/geometry.cpp.o.d"
+  "/root/repo/src/common/hilbert.cpp" "src/CMakeFiles/adr.dir/common/hilbert.cpp.o" "gcc" "src/CMakeFiles/adr.dir/common/hilbert.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/adr.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/adr.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/random.cpp" "src/CMakeFiles/adr.dir/common/random.cpp.o" "gcc" "src/CMakeFiles/adr.dir/common/random.cpp.o.d"
+  "/root/repo/src/common/stats_util.cpp" "src/CMakeFiles/adr.dir/common/stats_util.cpp.o" "gcc" "src/CMakeFiles/adr.dir/common/stats_util.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/adr.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/adr.dir/common/table.cpp.o.d"
+  "/root/repo/src/core/aggregation.cpp" "src/CMakeFiles/adr.dir/core/aggregation.cpp.o" "gcc" "src/CMakeFiles/adr.dir/core/aggregation.cpp.o.d"
+  "/root/repo/src/core/attribute_space.cpp" "src/CMakeFiles/adr.dir/core/attribute_space.cpp.o" "gcc" "src/CMakeFiles/adr.dir/core/attribute_space.cpp.o.d"
+  "/root/repo/src/core/exec/exec_stats.cpp" "src/CMakeFiles/adr.dir/core/exec/exec_stats.cpp.o" "gcc" "src/CMakeFiles/adr.dir/core/exec/exec_stats.cpp.o.d"
+  "/root/repo/src/core/exec/query_executor.cpp" "src/CMakeFiles/adr.dir/core/exec/query_executor.cpp.o" "gcc" "src/CMakeFiles/adr.dir/core/exec/query_executor.cpp.o.d"
+  "/root/repo/src/core/frontend.cpp" "src/CMakeFiles/adr.dir/core/frontend.cpp.o" "gcc" "src/CMakeFiles/adr.dir/core/frontend.cpp.o.d"
+  "/root/repo/src/core/planner/cost_model.cpp" "src/CMakeFiles/adr.dir/core/planner/cost_model.cpp.o" "gcc" "src/CMakeFiles/adr.dir/core/planner/cost_model.cpp.o.d"
+  "/root/repo/src/core/planner/da.cpp" "src/CMakeFiles/adr.dir/core/planner/da.cpp.o" "gcc" "src/CMakeFiles/adr.dir/core/planner/da.cpp.o.d"
+  "/root/repo/src/core/planner/fra.cpp" "src/CMakeFiles/adr.dir/core/planner/fra.cpp.o" "gcc" "src/CMakeFiles/adr.dir/core/planner/fra.cpp.o.d"
+  "/root/repo/src/core/planner/hybrid.cpp" "src/CMakeFiles/adr.dir/core/planner/hybrid.cpp.o" "gcc" "src/CMakeFiles/adr.dir/core/planner/hybrid.cpp.o.d"
+  "/root/repo/src/core/planner/mapping.cpp" "src/CMakeFiles/adr.dir/core/planner/mapping.cpp.o" "gcc" "src/CMakeFiles/adr.dir/core/planner/mapping.cpp.o.d"
+  "/root/repo/src/core/planner/plan.cpp" "src/CMakeFiles/adr.dir/core/planner/plan.cpp.o" "gcc" "src/CMakeFiles/adr.dir/core/planner/plan.cpp.o.d"
+  "/root/repo/src/core/planner/planner.cpp" "src/CMakeFiles/adr.dir/core/planner/planner.cpp.o" "gcc" "src/CMakeFiles/adr.dir/core/planner/planner.cpp.o.d"
+  "/root/repo/src/core/planner/sra.cpp" "src/CMakeFiles/adr.dir/core/planner/sra.cpp.o" "gcc" "src/CMakeFiles/adr.dir/core/planner/sra.cpp.o.d"
+  "/root/repo/src/core/planner/tiling.cpp" "src/CMakeFiles/adr.dir/core/planner/tiling.cpp.o" "gcc" "src/CMakeFiles/adr.dir/core/planner/tiling.cpp.o.d"
+  "/root/repo/src/core/query.cpp" "src/CMakeFiles/adr.dir/core/query.cpp.o" "gcc" "src/CMakeFiles/adr.dir/core/query.cpp.o.d"
+  "/root/repo/src/emulator/emulator.cpp" "src/CMakeFiles/adr.dir/emulator/emulator.cpp.o" "gcc" "src/CMakeFiles/adr.dir/emulator/emulator.cpp.o.d"
+  "/root/repo/src/emulator/sat.cpp" "src/CMakeFiles/adr.dir/emulator/sat.cpp.o" "gcc" "src/CMakeFiles/adr.dir/emulator/sat.cpp.o.d"
+  "/root/repo/src/emulator/scenario.cpp" "src/CMakeFiles/adr.dir/emulator/scenario.cpp.o" "gcc" "src/CMakeFiles/adr.dir/emulator/scenario.cpp.o.d"
+  "/root/repo/src/emulator/vm.cpp" "src/CMakeFiles/adr.dir/emulator/vm.cpp.o" "gcc" "src/CMakeFiles/adr.dir/emulator/vm.cpp.o.d"
+  "/root/repo/src/emulator/wcs.cpp" "src/CMakeFiles/adr.dir/emulator/wcs.cpp.o" "gcc" "src/CMakeFiles/adr.dir/emulator/wcs.cpp.o.d"
+  "/root/repo/src/net/client.cpp" "src/CMakeFiles/adr.dir/net/client.cpp.o" "gcc" "src/CMakeFiles/adr.dir/net/client.cpp.o.d"
+  "/root/repo/src/net/server.cpp" "src/CMakeFiles/adr.dir/net/server.cpp.o" "gcc" "src/CMakeFiles/adr.dir/net/server.cpp.o.d"
+  "/root/repo/src/net/socket_io.cpp" "src/CMakeFiles/adr.dir/net/socket_io.cpp.o" "gcc" "src/CMakeFiles/adr.dir/net/socket_io.cpp.o.d"
+  "/root/repo/src/net/wire.cpp" "src/CMakeFiles/adr.dir/net/wire.cpp.o" "gcc" "src/CMakeFiles/adr.dir/net/wire.cpp.o.d"
+  "/root/repo/src/runtime/executor.cpp" "src/CMakeFiles/adr.dir/runtime/executor.cpp.o" "gcc" "src/CMakeFiles/adr.dir/runtime/executor.cpp.o.d"
+  "/root/repo/src/runtime/message.cpp" "src/CMakeFiles/adr.dir/runtime/message.cpp.o" "gcc" "src/CMakeFiles/adr.dir/runtime/message.cpp.o.d"
+  "/root/repo/src/runtime/sim_executor.cpp" "src/CMakeFiles/adr.dir/runtime/sim_executor.cpp.o" "gcc" "src/CMakeFiles/adr.dir/runtime/sim_executor.cpp.o.d"
+  "/root/repo/src/runtime/thread_executor.cpp" "src/CMakeFiles/adr.dir/runtime/thread_executor.cpp.o" "gcc" "src/CMakeFiles/adr.dir/runtime/thread_executor.cpp.o.d"
+  "/root/repo/src/sim/cluster.cpp" "src/CMakeFiles/adr.dir/sim/cluster.cpp.o" "gcc" "src/CMakeFiles/adr.dir/sim/cluster.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/adr.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/adr.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/resources.cpp" "src/CMakeFiles/adr.dir/sim/resources.cpp.o" "gcc" "src/CMakeFiles/adr.dir/sim/resources.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/CMakeFiles/adr.dir/sim/simulation.cpp.o" "gcc" "src/CMakeFiles/adr.dir/sim/simulation.cpp.o.d"
+  "/root/repo/src/storage/catalog.cpp" "src/CMakeFiles/adr.dir/storage/catalog.cpp.o" "gcc" "src/CMakeFiles/adr.dir/storage/catalog.cpp.o.d"
+  "/root/repo/src/storage/chunk.cpp" "src/CMakeFiles/adr.dir/storage/chunk.cpp.o" "gcc" "src/CMakeFiles/adr.dir/storage/chunk.cpp.o.d"
+  "/root/repo/src/storage/dataset.cpp" "src/CMakeFiles/adr.dir/storage/dataset.cpp.o" "gcc" "src/CMakeFiles/adr.dir/storage/dataset.cpp.o.d"
+  "/root/repo/src/storage/decluster.cpp" "src/CMakeFiles/adr.dir/storage/decluster.cpp.o" "gcc" "src/CMakeFiles/adr.dir/storage/decluster.cpp.o.d"
+  "/root/repo/src/storage/disk_store.cpp" "src/CMakeFiles/adr.dir/storage/disk_store.cpp.o" "gcc" "src/CMakeFiles/adr.dir/storage/disk_store.cpp.o.d"
+  "/root/repo/src/storage/loader.cpp" "src/CMakeFiles/adr.dir/storage/loader.cpp.o" "gcc" "src/CMakeFiles/adr.dir/storage/loader.cpp.o.d"
+  "/root/repo/src/storage/partition.cpp" "src/CMakeFiles/adr.dir/storage/partition.cpp.o" "gcc" "src/CMakeFiles/adr.dir/storage/partition.cpp.o.d"
+  "/root/repo/src/storage/rtree.cpp" "src/CMakeFiles/adr.dir/storage/rtree.cpp.o" "gcc" "src/CMakeFiles/adr.dir/storage/rtree.cpp.o.d"
+  "/root/repo/src/storage/spatial_index.cpp" "src/CMakeFiles/adr.dir/storage/spatial_index.cpp.o" "gcc" "src/CMakeFiles/adr.dir/storage/spatial_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aggregation_test.cpp" "tests/CMakeFiles/adr_tests.dir/aggregation_test.cpp.o" "gcc" "tests/CMakeFiles/adr_tests.dir/aggregation_test.cpp.o.d"
+  "/root/repo/tests/attribute_space_test.cpp" "tests/CMakeFiles/adr_tests.dir/attribute_space_test.cpp.o" "gcc" "tests/CMakeFiles/adr_tests.dir/attribute_space_test.cpp.o.d"
+  "/root/repo/tests/catalog_test.cpp" "tests/CMakeFiles/adr_tests.dir/catalog_test.cpp.o" "gcc" "tests/CMakeFiles/adr_tests.dir/catalog_test.cpp.o.d"
+  "/root/repo/tests/chunk_test.cpp" "tests/CMakeFiles/adr_tests.dir/chunk_test.cpp.o" "gcc" "tests/CMakeFiles/adr_tests.dir/chunk_test.cpp.o.d"
+  "/root/repo/tests/cluster_test.cpp" "tests/CMakeFiles/adr_tests.dir/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/adr_tests.dir/cluster_test.cpp.o.d"
+  "/root/repo/tests/cost_model_test.cpp" "tests/CMakeFiles/adr_tests.dir/cost_model_test.cpp.o" "gcc" "tests/CMakeFiles/adr_tests.dir/cost_model_test.cpp.o.d"
+  "/root/repo/tests/dataset_test.cpp" "tests/CMakeFiles/adr_tests.dir/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/adr_tests.dir/dataset_test.cpp.o.d"
+  "/root/repo/tests/decluster_test.cpp" "tests/CMakeFiles/adr_tests.dir/decluster_test.cpp.o" "gcc" "tests/CMakeFiles/adr_tests.dir/decluster_test.cpp.o.d"
+  "/root/repo/tests/disk_store_test.cpp" "tests/CMakeFiles/adr_tests.dir/disk_store_test.cpp.o" "gcc" "tests/CMakeFiles/adr_tests.dir/disk_store_test.cpp.o.d"
+  "/root/repo/tests/emulator_test.cpp" "tests/CMakeFiles/adr_tests.dir/emulator_test.cpp.o" "gcc" "tests/CMakeFiles/adr_tests.dir/emulator_test.cpp.o.d"
+  "/root/repo/tests/event_queue_test.cpp" "tests/CMakeFiles/adr_tests.dir/event_queue_test.cpp.o" "gcc" "tests/CMakeFiles/adr_tests.dir/event_queue_test.cpp.o.d"
+  "/root/repo/tests/executor_test.cpp" "tests/CMakeFiles/adr_tests.dir/executor_test.cpp.o" "gcc" "tests/CMakeFiles/adr_tests.dir/executor_test.cpp.o.d"
+  "/root/repo/tests/frontend_test.cpp" "tests/CMakeFiles/adr_tests.dir/frontend_test.cpp.o" "gcc" "tests/CMakeFiles/adr_tests.dir/frontend_test.cpp.o.d"
+  "/root/repo/tests/geometry_test.cpp" "tests/CMakeFiles/adr_tests.dir/geometry_test.cpp.o" "gcc" "tests/CMakeFiles/adr_tests.dir/geometry_test.cpp.o.d"
+  "/root/repo/tests/hilbert_test.cpp" "tests/CMakeFiles/adr_tests.dir/hilbert_test.cpp.o" "gcc" "tests/CMakeFiles/adr_tests.dir/hilbert_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/adr_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/adr_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/loader_test.cpp" "tests/CMakeFiles/adr_tests.dir/loader_test.cpp.o" "gcc" "tests/CMakeFiles/adr_tests.dir/loader_test.cpp.o.d"
+  "/root/repo/tests/mapping_test.cpp" "tests/CMakeFiles/adr_tests.dir/mapping_test.cpp.o" "gcc" "tests/CMakeFiles/adr_tests.dir/mapping_test.cpp.o.d"
+  "/root/repo/tests/net_test.cpp" "tests/CMakeFiles/adr_tests.dir/net_test.cpp.o" "gcc" "tests/CMakeFiles/adr_tests.dir/net_test.cpp.o.d"
+  "/root/repo/tests/partition_test.cpp" "tests/CMakeFiles/adr_tests.dir/partition_test.cpp.o" "gcc" "tests/CMakeFiles/adr_tests.dir/partition_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/adr_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/adr_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/query_executor_test.cpp" "tests/CMakeFiles/adr_tests.dir/query_executor_test.cpp.o" "gcc" "tests/CMakeFiles/adr_tests.dir/query_executor_test.cpp.o.d"
+  "/root/repo/tests/query_test.cpp" "tests/CMakeFiles/adr_tests.dir/query_test.cpp.o" "gcc" "tests/CMakeFiles/adr_tests.dir/query_test.cpp.o.d"
+  "/root/repo/tests/random_test.cpp" "tests/CMakeFiles/adr_tests.dir/random_test.cpp.o" "gcc" "tests/CMakeFiles/adr_tests.dir/random_test.cpp.o.d"
+  "/root/repo/tests/resources_test.cpp" "tests/CMakeFiles/adr_tests.dir/resources_test.cpp.o" "gcc" "tests/CMakeFiles/adr_tests.dir/resources_test.cpp.o.d"
+  "/root/repo/tests/robustness_test.cpp" "tests/CMakeFiles/adr_tests.dir/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/adr_tests.dir/robustness_test.cpp.o.d"
+  "/root/repo/tests/rtree_test.cpp" "tests/CMakeFiles/adr_tests.dir/rtree_test.cpp.o" "gcc" "tests/CMakeFiles/adr_tests.dir/rtree_test.cpp.o.d"
+  "/root/repo/tests/scenario_test.cpp" "tests/CMakeFiles/adr_tests.dir/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/adr_tests.dir/scenario_test.cpp.o.d"
+  "/root/repo/tests/simulation_test.cpp" "tests/CMakeFiles/adr_tests.dir/simulation_test.cpp.o" "gcc" "tests/CMakeFiles/adr_tests.dir/simulation_test.cpp.o.d"
+  "/root/repo/tests/spatial_index_test.cpp" "tests/CMakeFiles/adr_tests.dir/spatial_index_test.cpp.o" "gcc" "tests/CMakeFiles/adr_tests.dir/spatial_index_test.cpp.o.d"
+  "/root/repo/tests/stats_util_test.cpp" "tests/CMakeFiles/adr_tests.dir/stats_util_test.cpp.o" "gcc" "tests/CMakeFiles/adr_tests.dir/stats_util_test.cpp.o.d"
+  "/root/repo/tests/strategy_test.cpp" "tests/CMakeFiles/adr_tests.dir/strategy_test.cpp.o" "gcc" "tests/CMakeFiles/adr_tests.dir/strategy_test.cpp.o.d"
+  "/root/repo/tests/table_test.cpp" "tests/CMakeFiles/adr_tests.dir/table_test.cpp.o" "gcc" "tests/CMakeFiles/adr_tests.dir/table_test.cpp.o.d"
+  "/root/repo/tests/tiling_test.cpp" "tests/CMakeFiles/adr_tests.dir/tiling_test.cpp.o" "gcc" "tests/CMakeFiles/adr_tests.dir/tiling_test.cpp.o.d"
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/adr_tests.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/adr_tests.dir/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
