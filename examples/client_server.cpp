@@ -1,13 +1,18 @@
 // Client/server deployment: the paper's Figure 2 in one process.
 //
 // Stands up an ADR repository behind the front-end socket server, then
-// plays a "sequential client" (paper's client A): connects over TCP,
-// submits range queries of shrinking footprint, and reads the composited
-// results off the wire.
+// plays first a "sequential client" (paper's client A): connects over
+// TCP, submits range queries of shrinking footprint, and reads the
+// composited results off the wire — and then a crowd: eight clients on
+// their own threads hammering the same server concurrently, each on its
+// own connection.
 //
 //   ./client_server
+#include <atomic>
 #include <cstring>
 #include <iostream>
+#include <thread>
+#include <vector>
 
 #include "adr.hpp"
 #include "net/client.hpp"
@@ -95,6 +100,44 @@ int main() {
               << ", " << result.outputs.size() << " chunk(s), " << count
               << " readings, max " << max << "\n";
   }
+
+  // ---- concurrent clients, one connection each ----
+  const int n_clients = 8;
+  const int queries_per_client = 4;
+  std::atomic<std::uint64_t> grand_total{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> crowd;
+  crowd.reserve(n_clients);
+  for (int c = 0; c < n_clients; ++c) {
+    crowd.emplace_back([&, c]() {
+      try {
+        net::AdrClient me(server.port());
+        for (int i = 0; i < queries_per_client; ++i) {
+          Query q;
+          q.input_dataset = sensors;
+          q.output_dataset = summary;
+          const double extent = 0.25 + 0.25 * ((c + i) % 4);
+          q.range = Rect(Point{0.0, 0.0}, Point{extent - 1e-9, extent - 1e-9});
+          q.aggregation = "sum-count-max";
+          q.delivery = OutputDelivery::kReturnToClient;
+          const net::WireResult result = me.submit(q);
+          if (!result.ok) {
+            ++failures;
+            continue;
+          }
+          for (const Chunk& chunk : result.outputs) {
+            grand_total += chunk.as<std::uint64_t>()[1];
+          }
+        }
+      } catch (const std::exception& e) {
+        ++failures;
+      }
+    });
+  }
+  for (std::thread& t : crowd) t.join();
+  std::cout << "\n" << n_clients << " concurrent clients x " << queries_per_client
+            << " queries: " << grand_total.load() << " readings counted, "
+            << failures.load() << " failures\n";
 
   std::cout << "\nserver handled " << server.queries_served() << " queries\n";
   server.stop();

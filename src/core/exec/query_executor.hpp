@@ -20,6 +20,13 @@
 //
 // The engine runs metadata-only (op == nullptr: costs and volumes are
 // exact, payloads absent) or with real payloads and a real AggregationOp.
+//
+// Concurrency: execute_query keeps all per-query state (accumulators,
+// phase counters, stats) on the stack of the call and inside the
+// Executor instance it is handed; it never touches globals.  Concurrent
+// calls are safe as long as each call gets its own Executor and the
+// shared ChunkStore/Dataset arguments are used read-only or internally
+// locked — which is how Repository::submit drives it.
 #pragma once
 
 #include <memory>

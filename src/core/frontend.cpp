@@ -28,6 +28,7 @@ Repository::Repository(const RepositoryConfig& config) : config_(config) {
 std::uint32_t Repository::create_dataset(const std::string& name, const Rect& domain,
                                          std::vector<Chunk> chunks,
                                          DeclusterMethod method) {
+  std::unique_lock lock(catalog_mutex_);
   const std::uint32_t id = next_dataset_id_++;
   LoadOptions options;
   options.decluster.method = method;
@@ -45,25 +46,45 @@ std::uint32_t Repository::create_dataset(const std::string& name, const Rect& do
 }
 
 const Dataset& Repository::dataset(std::uint32_t id) const {
+  std::shared_lock lock(catalog_mutex_);
   auto it = datasets_.find(id);
   if (it == datasets_.end()) throw std::out_of_range("Repository: unknown dataset");
   return it->second;
 }
 
 const Dataset* Repository::find_dataset(const std::string& name) const {
+  std::shared_lock lock(catalog_mutex_);
   for (const auto& [id, ds] : datasets_) {
     if (ds.name() == name) return &ds;
   }
   return nullptr;
 }
 
+std::size_t Repository::num_datasets() const {
+  std::shared_lock lock(catalog_mutex_);
+  return datasets_.size();
+}
+
 QueryResult Repository::submit(const Query& query, const ComputeCosts& costs,
                                const ExecOptions& exec_options) {
-  const Dataset& input = dataset(query.input_dataset);
-  const Dataset& output = dataset(query.output_dataset);
+  // Shared lock for the whole plan+execute: concurrent submits proceed in
+  // parallel while catalog mutations (create_dataset / load_catalog) wait.
+  std::shared_lock lock(catalog_mutex_);
+  return submit_locked(query, costs, exec_options);
+}
+
+QueryResult Repository::submit_locked(const Query& query, const ComputeCosts& costs,
+                                      const ExecOptions& exec_options) {
+  auto lookup = [this](std::uint32_t id) -> const Dataset& {
+    auto it = datasets_.find(id);
+    if (it == datasets_.end()) throw std::out_of_range("Repository: unknown dataset");
+    return it->second;
+  };
+  const Dataset& input = lookup(query.input_dataset);
+  const Dataset& output = lookup(query.output_dataset);
   std::vector<const Dataset*> all_inputs = {&input};
   for (std::uint32_t id : query.extra_input_datasets) {
-    all_inputs.push_back(&dataset(id));
+    all_inputs.push_back(&lookup(id));
   }
 
   const MapFunction* map = nullptr;
@@ -170,35 +191,162 @@ std::vector<QueryResult> Repository::submit_all(const std::vector<Query>& querie
   return results;
 }
 
-std::uint64_t QuerySubmissionService::enqueue(Query query, ComputeCosts costs) {
+void QuerySubmissionService::start(int n_workers) {
+  std::lock_guard lock(mutex_);
+  if (!workers_.empty()) return;
+  stopping_ = false;
+  workers_.reserve(static_cast<std::size_t>(n_workers));
+  for (int i = 0; i < n_workers; ++i) {
+    workers_.emplace_back([this]() { worker_loop(); });
+  }
+}
+
+void QuerySubmissionService::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (workers_.empty()) return;
+    stopping_ = true;  // workers finish the queue before exiting
+    work_cv_.notify_all();
+  }
+  for (std::thread& w : workers_) w.join();
+  std::lock_guard lock(mutex_);
+  workers_.clear();
+  stopping_ = false;
+}
+
+std::uint64_t QuerySubmissionService::enqueue(Query query, ComputeCosts costs,
+                                              std::uint64_t client_id) {
+  std::unique_lock lock(mutex_);
+  // Back-pressure: bound accepted-but-unfinished work while a pool runs.
+  if (!workers_.empty()) {
+    done_cv_.wait(lock, [this]() {
+      return queue_.size() + in_flight_ < max_pending_;
+    });
+  }
   const std::uint64_t ticket = next_ticket_++;
-  queue_.push_back(Pending{ticket, std::move(query), costs});
+  queue_.push_back(Pending{ticket, client_id, std::move(query), costs});
+  work_cv_.notify_one();
   return ticket;
 }
 
-std::size_t QuerySubmissionService::process_all() {
-  std::size_t ran = 0;
-  for (Pending& p : queue_) {
-    results_[p.ticket] = repository_->submit(p.query, p.costs);
-    ++ran;
+bool QuerySubmissionService::pop_runnable(Pending& out) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (busy_clients_.contains(it->client)) continue;  // keep the lane FIFO
+    out = std::move(*it);
+    queue_.erase(it);
+    busy_clients_.insert(out.client);
+    ++in_flight_;
+    return true;
   }
-  queue_.clear();
-  return ran;
+  return false;
 }
 
-const QueryResult* QuerySubmissionService::result(std::uint64_t ticket) const {
+void QuerySubmissionService::run_one(Pending&& p) {
+  QueryResult result;
+  std::string error;
+  bool ok = true;
+  try {
+    result = repository_->submit(p.query, p.costs);
+  } catch (const std::exception& e) {
+    ok = false;
+    error = e.what();
+    ADR_WARN("submission service: ticket " << p.ticket << " failed: " << e.what());
+  }
+  std::lock_guard lock(mutex_);
+  if (ok) {
+    results_.emplace(p.ticket, std::move(result));
+  } else {
+    errors_.emplace(p.ticket, std::move(error));
+  }
+  busy_clients_.erase(p.client);
+  --in_flight_;
+  ++completed_;
+  // A freed lane may unblock a queued query for the same client.
+  work_cv_.notify_all();
+  done_cv_.notify_all();
+}
+
+void QuerySubmissionService::worker_loop() {
+  for (;;) {
+    Pending p{};
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock, [&]() { return pop_runnable(p) || (stopping_ && queue_.empty()); });
+      if (p.ticket == 0) return;  // stopping and nothing runnable
+    }
+    run_one(std::move(p));
+  }
+}
+
+std::size_t QuerySubmissionService::process_all() {
+  bool pooled = false;
+  {
+    std::lock_guard lock(mutex_);
+    pooled = !workers_.empty();
+  }
+  if (pooled) return drain();
+  // Serial mode: drain the queue on this thread in FIFO order.
+  std::size_t ran = 0;
+  for (;;) {
+    Pending p{};
+    {
+      std::lock_guard lock(mutex_);
+      if (queue_.empty()) return ran;
+      p = std::move(queue_.front());
+      queue_.pop_front();
+      busy_clients_.insert(p.client);
+      ++in_flight_;
+    }
+    run_one(std::move(p));
+    ++ran;
+  }
+}
+
+const QueryResult* QuerySubmissionService::wait(std::uint64_t ticket) {
+  std::unique_lock lock(mutex_);
+  if (ticket == 0 || ticket >= next_ticket_) return nullptr;
+  done_cv_.wait(lock, [&]() {
+    return results_.contains(ticket) || errors_.contains(ticket);
+  });
   auto it = results_.find(ticket);
   return it == results_.end() ? nullptr : &it->second;
 }
 
+std::size_t QuerySubmissionService::drain() {
+  std::unique_lock lock(mutex_);
+  const std::uint64_t before = completed_;
+  done_cv_.wait(lock, [this]() { return queue_.empty() && in_flight_ == 0; });
+  return static_cast<std::size_t>(completed_ - before);
+}
+
+std::size_t QuerySubmissionService::pending() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size() + in_flight_;
+}
+
+const QueryResult* QuerySubmissionService::result(std::uint64_t ticket) const {
+  std::lock_guard lock(mutex_);
+  auto it = results_.find(ticket);
+  return it == results_.end() ? nullptr : &it->second;
+}
+
+const std::string* QuerySubmissionService::error(std::uint64_t ticket) const {
+  std::lock_guard lock(mutex_);
+  auto it = errors_.find(ticket);
+  return it == errors_.end() ? nullptr : &it->second;
+}
+
 std::optional<Chunk> Repository::read_chunk(std::uint32_t dataset_id,
                                             std::uint32_t index) const {
-  const Dataset& ds = dataset(dataset_id);
-  const ChunkMeta& meta = ds.chunk(index);
+  std::shared_lock lock(catalog_mutex_);
+  auto it = datasets_.find(dataset_id);
+  if (it == datasets_.end()) throw std::out_of_range("Repository: unknown dataset");
+  const ChunkMeta& meta = it->second.chunk(index);
   return store_->get(meta.disk, meta.id);
 }
 
 void Repository::save_catalog(const std::filesystem::path& path) const {
+  std::shared_lock lock(catalog_mutex_);
   std::vector<const Dataset*> all;
   all.reserve(datasets_.size());
   for (const auto& [id, ds] : datasets_) all.push_back(&ds);
@@ -207,6 +355,7 @@ void Repository::save_catalog(const std::filesystem::path& path) const {
 
 std::size_t Repository::load_catalog(const std::filesystem::path& path) {
   std::vector<Dataset> loaded = load_catalog_file(path);
+  std::unique_lock lock(catalog_mutex_);
   std::size_t registered = 0;
   for (Dataset& ds : loaded) {
     for (const ChunkMeta& c : ds.chunks()) {

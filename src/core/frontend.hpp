@@ -21,12 +21,18 @@
 //   adr::QueryResult r = repo.submit(q);
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <filesystem>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
+#include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "core/aggregation.hpp"
@@ -84,6 +90,18 @@ struct QueryResult {
   std::vector<Chunk> outputs;
 };
 
+/// Thread safety: Repository serves concurrent clients.  The dataset
+/// catalog (datasets_ / next_dataset_id_) is guarded by a shared mutex:
+/// submit() and the other readers hold it shared for their whole run, so
+/// a dataset can never be replaced or destroyed mid-query; create_dataset()
+/// and load_catalog() take it exclusive.  The chunk store has its own
+/// internal lock.  Locking order (never acquire in the other direction):
+///
+///   catalog_mutex_  ->  ChunkStore internal mutex  ->  executor internals
+///
+/// Registries (attribute spaces, aggregations, indices) are expected to be
+/// populated before concurrent serving starts; lookups are read-only.
+/// Per-query planner/executor state is entirely stack-local.
 class Repository {
  public:
   explicit Repository(const RepositoryConfig& config);
@@ -102,9 +120,11 @@ class Repository {
 
   const Dataset& dataset(std::uint32_t id) const;
   const Dataset* find_dataset(const std::string& name) const;
-  std::size_t num_datasets() const { return datasets_.size(); }
+  std::size_t num_datasets() const;
 
-  /// Plans and executes a range query on the back-end.
+  /// Plans and executes a range query on the back-end.  Safe to call from
+  /// many threads at once: each call plans and executes with stack-local
+  /// state while holding the catalog's shared lock.
   /// `costs` are the per-chunk compute charges for the simulated backend.
   QueryResult submit(const Query& query, const ComputeCosts& costs = {},
                      const ExecOptions& exec_options = {});
@@ -127,44 +147,110 @@ class Repository {
   std::size_t load_catalog(const std::filesystem::path& path);
 
  private:
+  QueryResult submit_locked(const Query& query, const ComputeCosts& costs,
+                            const ExecOptions& exec_options);
+
   RepositoryConfig config_;
   std::unique_ptr<ChunkStore> store_;
   AttributeSpaceService spaces_;
   AggregationService aggregations_;
   IndexRegistry indices_;
+  /// Guards datasets_ and next_dataset_id_ (see class comment).
+  mutable std::shared_mutex catalog_mutex_;
   std::map<std::uint32_t, Dataset> datasets_;
   std::uint32_t next_dataset_id_ = 0;
 };
 
 /// Query submission service (paper Fig. 2): clients enqueue queries
-/// through the front end and collect results by ticket.  Queries are
-/// executed in FIFO order when process_all() runs (one back-end, one
-/// query at a time, matching ADR's single parallel back-end).
+/// through the front end and collect results by ticket.
+///
+/// Two modes share one queue:
+///
+///  - Serial (seed behaviour): enqueue() then process_all() runs every
+///    pending query in FIFO order on the calling thread.
+///  - Worker pool: start(n) spins up n scheduler workers that run
+///    independent queries concurrently.  Queries sharing a client id are
+///    a FIFO lane — at most one query per client is in flight and lanes
+///    complete in submission order, so each client observes the same
+///    serial semantics it would get from its own connection.  enqueue()
+///    applies back-pressure: it blocks while `max_pending` accepted
+///    queries are still queued or running.
+///
+/// wait(ticket) blocks for one result; drain() blocks until everything
+/// accepted so far has finished; stop() drains and joins the workers.
 class QuerySubmissionService {
  public:
-  explicit QuerySubmissionService(Repository& repository)
-      : repository_(&repository) {}
+  explicit QuerySubmissionService(Repository& repository,
+                                  std::size_t max_pending = 1024)
+      : repository_(&repository), max_pending_(max_pending) {}
+  ~QuerySubmissionService() { stop(); }
+
+  QuerySubmissionService(const QuerySubmissionService&) = delete;
+  QuerySubmissionService& operator=(const QuerySubmissionService&) = delete;
+
+  /// Starts `n_workers` scheduler threads (no-op if already started).
+  void start(int n_workers);
+
+  /// Drains accepted work and joins the workers (no-op when not started).
+  void stop();
 
   /// Enqueues a query; the returned ticket retrieves its result later.
-  std::uint64_t enqueue(Query query, ComputeCosts costs = {});
+  /// Queries with the same `client_id` execute in FIFO order relative to
+  /// each other.  Blocks for a free slot when the pool is saturated.
+  std::uint64_t enqueue(Query query, ComputeCosts costs = {},
+                        std::uint64_t client_id = 0);
 
-  /// Runs every pending query in FIFO order; returns how many ran.
+  /// Runs every pending query in FIFO order on this thread when no pool
+  /// is running; with a pool, equivalent to drain().  Returns how many
+  /// queries finished during this call.
   std::size_t process_all();
 
-  std::size_t pending() const { return queue_.size(); }
+  /// Blocks until the ticket's query finishes; returns its result, or
+  /// nullptr if the ticket is unknown or its query failed (see error()).
+  const QueryResult* wait(std::uint64_t ticket);
 
-  /// Result for a ticket, or nullptr if unknown / not yet processed.
+  /// Blocks until all accepted work has finished; returns how many
+  /// queries finished during this call.
+  std::size_t drain();
+
+  /// Queued plus in-flight queries.
+  std::size_t pending() const;
+
+  /// Result for a ticket, or nullptr if unknown / not yet processed /
+  /// failed.  The pointer stays valid for the service's lifetime.
   const QueryResult* result(std::uint64_t ticket) const;
+
+  /// Error text for a failed ticket, or nullptr.
+  const std::string* error(std::uint64_t ticket) const;
 
  private:
   struct Pending {
     std::uint64_t ticket;
+    std::uint64_t client;
     Query query;
     ComputeCosts costs;
   };
+
+  void worker_loop();
+  void run_one(Pending&& p);
+  // Pops the earliest queued query whose client lane is idle (caller
+  // holds mutex_); marks the lane busy.
+  bool pop_runnable(Pending& out);
+
   Repository* repository_;
-  std::vector<Pending> queue_;
+  const std::size_t max_pending_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers: new work or stop
+  std::condition_variable done_cv_;  // waiters: a query finished
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+  std::deque<Pending> queue_;
+  std::unordered_set<std::uint64_t> busy_clients_;
+  std::size_t in_flight_ = 0;
+  std::uint64_t completed_ = 0;
   std::map<std::uint64_t, QueryResult> results_;
+  std::map<std::uint64_t, std::string> errors_;
   std::uint64_t next_ticket_ = 1;
 };
 

@@ -15,8 +15,11 @@
 namespace adr::net {
 
 AdrServer::AdrServer(Repository& repository, std::uint16_t port,
-                     const ComputeCosts& costs)
-    : repository_(&repository), costs_(costs) {
+                     const ComputeCosts& costs, int max_connections)
+    : repository_(&repository), costs_(costs), max_connections_(max_connections) {
+  if (max_connections_ < 1) {
+    throw std::invalid_argument("AdrServer: max_connections must be >= 1");
+  }
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw std::runtime_error("AdrServer: socket() failed");
   const int reuse = 1;
@@ -36,7 +39,7 @@ AdrServer::AdrServer(Repository& repository, std::uint16_t port,
     throw std::runtime_error("AdrServer: getsockname() failed");
   }
   port_ = ntohs(addr.sin_port);
-  if (::listen(listen_fd_, 8) != 0) {
+  if (::listen(listen_fd_, 64) != 0) {
     ::close(listen_fd_);
     throw std::runtime_error("AdrServer: listen() failed");
   }
@@ -46,7 +49,7 @@ AdrServer::~AdrServer() { stop(); }
 
 void AdrServer::start() {
   if (running_.exchange(true)) return;
-  thread_ = std::thread([this]() { serve_loop(); });
+  accept_thread_ = std::thread([this]() { accept_loop(); });
 }
 
 void AdrServer::stop() {
@@ -57,35 +60,92 @@ void AdrServer::stop() {
     }
     return;
   }
-  // Closing the listening socket unblocks accept(); shutting down any
-  // in-flight connection unblocks its read.
+  // shutdown() unblocks the accept() without invalidating the fd the
+  // accept thread still reads; the thread sees running_ == false and
+  // exits, and only then is the descriptor closed and cleared (closing
+  // or overwriting listen_fd_ while accept() uses it is a race).
   ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
   ::close(listen_fd_);
   listen_fd_ = -1;
-  const int conn = conn_fd_.load();
-  if (conn >= 0) ::shutdown(conn, SHUT_RDWR);
-  if (thread_.joinable()) thread_.join();
+
+  // Drain: half-close every live connection.  Blocked reads return 0 so
+  // each thread stops taking new frames, but a result frame for an
+  // in-flight query still goes out before the thread closes its fd.
+  {
+    std::lock_guard lock(conn_mutex_);
+    for (const int fd : live_fds_) ::shutdown(fd, SHUT_RD);
+  }
+  for (;;) {
+    std::unique_ptr<Conn> conn;
+    {
+      std::lock_guard lock(conn_mutex_);
+      if (conns_.empty()) break;
+      conn = std::move(conns_.front());
+      conns_.pop_front();
+    }
+    if (conn->thread.joinable()) conn->thread.join();
+  }
 }
 
-void AdrServer::serve_loop() {
+std::size_t AdrServer::active_connections() const {
+  std::lock_guard lock(conn_mutex_);
+  std::size_t live = 0;
+  for (const auto& c : conns_) {
+    if (!c->done.load()) ++live;
+  }
+  return live;
+}
+
+void AdrServer::reap_finished_locked() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if ((*it)->done.load()) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void AdrServer::accept_loop() {
   while (running_.load()) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (!running_.load()) break;
       continue;  // transient accept error
     }
-    conn_fd_.store(fd);
-    serve_connection(fd);
-    conn_fd_.store(-1);
-    ::close(fd);
+    if (!running_.load()) {
+      ::close(fd);  // raced with stop(): never registered, close here
+      break;
+    }
+    std::lock_guard lock(conn_mutex_);
+    reap_finished_locked();
+    if (live_fds_.size() >= static_cast<std::size_t>(max_connections_)) {
+      // Count before close: the close is the client-visible refusal
+      // signal, so the counter must already reflect it by the time the
+      // client's read returns EOF.
+      ++refused_;
+      ADR_WARN("server: refused connection, " << live_fds_.size() << " active");
+      ::close(fd);  // at capacity: orderly close is the refusal signal
+      continue;
+    }
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    Conn* raw = conn.get();
+    live_fds_.insert(fd);
+    conns_.push_back(std::move(conn));
+    ADR_DEBUG("server: accepted fd=" << fd << " live=" << live_fds_.size());
+    raw->thread = std::thread([this, raw]() { serve_connection(raw); });
   }
 }
 
-void AdrServer::serve_connection(int fd) {
-  // Serve frames until the client closes or errors.
+void AdrServer::serve_connection(Conn* conn) {
+  const int fd = conn->fd;
+  // Serve frames until the client closes, errors, or stop() half-closes.
   for (;;) {
     std::vector<std::byte> payload;
-    if (!read_frame(fd, payload)) return;
+    if (!read_frame(fd, payload)) break;
     WireResult result;
     try {
       const Query query = decode_query(payload);
@@ -96,8 +156,17 @@ void AdrServer::serve_connection(int fd) {
       result.error = e.what();
       ADR_WARN("server: query failed: " << e.what());
     }
-    if (!write_frame(fd, encode_result(result))) return;
+    if (!write_frame(fd, encode_result(result))) break;
   }
+  // Deregister before closing so stop() can never shutdown() a recycled
+  // descriptor; the connection thread is the only closer of its fd.
+  {
+    std::lock_guard lock(conn_mutex_);
+    live_fds_.erase(fd);
+    ADR_DEBUG("server: connection fd=" << fd << " done, live=" << live_fds_.size());
+  }
+  ::close(fd);
+  conn->done.store(true);
 }
 
 }  // namespace adr::net

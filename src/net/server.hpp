@@ -4,18 +4,32 @@
 // queries to the back-end... The socket interface is used for sequential
 // clients." (paper sections 1-2)
 //
-// AdrServer listens on a TCP port (loopback by default), accepts client
-// connections, and serves length-prefixed query frames: each frame is
-// decoded, submitted to the Repository, and answered with a result frame
-// carrying the summary and any return-to-client output chunks.  One
-// connection is served at a time per server thread, matching ADR's
-// single parallel back-end.
+// AdrServer listens on a TCP port (loopback by default) and serves each
+// accepted client on its own connection thread: length-prefixed query
+// frames are decoded, submitted to the (thread-safe) Repository, and
+// answered with a result frame carrying the summary and any
+// return-to-client output chunks.  Many clients run concurrently, up to
+// `max_connections`; beyond that, new connections are accepted and
+// immediately closed (the client sees an orderly close before its first
+// result — back-pressure at the front door).
+//
+// fd ownership: each connection's fd is closed only by its connection
+// thread.  stop() never closes a connection fd from outside; it
+// shutdown()s fds still registered in the live set (registration and
+// close are ordered through conn_mutex_, so a shutdown can never hit a
+// recycled descriptor), which unblocks any read so the thread can finish
+// its in-flight query, flush the result, and exit on its own.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_set>
 
 #include "core/frontend.hpp"
 #include "core/planner/cost_model.hpp"
@@ -26,8 +40,9 @@ class AdrServer {
  public:
   /// Binds to 127.0.0.1:`port` (0 = pick an ephemeral port).  `costs`
   /// are the compute charges applied to every submitted query.
+  /// `max_connections` bounds concurrently served clients.
   AdrServer(Repository& repository, std::uint16_t port,
-            const ComputeCosts& costs = {});
+            const ComputeCosts& costs = {}, int max_connections = 64);
   ~AdrServer();
 
   AdrServer(const AdrServer&) = delete;
@@ -36,7 +51,9 @@ class AdrServer {
   /// Starts the accept loop on a background thread.
   void start();
 
-  /// Stops accepting and joins the server thread.
+  /// Graceful drain: stops accepting, half-closes (SHUT_RD) every live
+  /// connection so in-flight queries still deliver their result frame,
+  /// and joins every connection thread before returning.
   void stop();
 
   /// The bound port (valid after construction).
@@ -44,18 +61,38 @@ class AdrServer {
 
   std::uint64_t queries_served() const { return served_.load(); }
 
+  /// Connections currently being served.
+  std::size_t active_connections() const;
+
+  /// Connections refused because max_connections was reached.
+  std::uint64_t connections_refused() const { return refused_.load(); }
+
  private:
-  void serve_loop();
-  void serve_connection(int fd);
+  struct Conn {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void serve_connection(Conn* conn);
+  void reap_finished_locked();  // joins done threads; caller holds conn_mutex_
 
   Repository* repository_;
   ComputeCosts costs_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
-  std::thread thread_;
+  const int max_connections_;
+  std::thread accept_thread_;
   std::atomic<bool> running_{false};
-  std::atomic<int> conn_fd_{-1};
   std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> refused_{0};
+
+  mutable std::mutex conn_mutex_;
+  std::list<std::unique_ptr<Conn>> conns_;
+  // fds safe to shutdown() from stop(): a connection removes itself
+  // before closing its fd.
+  std::unordered_set<int> live_fds_;
 };
 
 }  // namespace adr::net

@@ -1,0 +1,193 @@
+// Frame I/O edge cases over a socketpair: partial delivery across frame
+// boundaries, peer close mid-frame, EINTR retry, oversized-length
+// rejection.  These pin down the transport contract the server and
+// client rely on: read_frame returns false only on orderly close, error,
+// or a frame that violates the cap — never on short reads.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <pthread.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "net/socket_io.hpp"
+
+namespace adr::net {
+namespace {
+
+struct SocketPair {
+  int a = -1;
+  int b = -1;
+  SocketPair() {
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+      ADD_FAILURE() << "socketpair failed";
+      return;
+    }
+    a = fds[0];
+    b = fds[1];
+  }
+  ~SocketPair() {
+    if (a >= 0) ::close(a);
+    if (b >= 0) ::close(b);
+  }
+  void close_a() {
+    ::close(a);
+    a = -1;
+  }
+};
+
+std::vector<std::byte> make_payload(std::size_t n) {
+  std::vector<std::byte> payload(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    payload[i] = static_cast<std::byte>(i * 31 + 7);
+  }
+  return payload;
+}
+
+// Raw little-endian header for an arbitrary length.
+std::vector<std::byte> raw_header(std::uint32_t length) {
+  std::vector<std::byte> header(4);
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<std::byte>((length >> (8 * i)) & 0xff);
+  }
+  return header;
+}
+
+TEST(SocketIo, RoundTripSeveralFrames) {
+  SocketPair sp;
+  for (std::size_t n : {0u, 1u, 17u, 4096u}) {
+    const auto sent = make_payload(n);
+    ASSERT_TRUE(write_frame(sp.a, sent));
+    std::vector<std::byte> got;
+    ASSERT_TRUE(read_frame(sp.b, got));
+    EXPECT_EQ(got, sent);
+  }
+}
+
+TEST(SocketIo, ShortWritesAcrossFrameBoundary) {
+  // Dribble two frames onto the wire a few bytes at a time, with cuts
+  // that straddle the header/payload and frame/frame boundaries; the
+  // reader must reassemble both frames exactly.
+  SocketPair sp;
+  const auto p1 = make_payload(10);
+  const auto p2 = make_payload(23);
+  std::vector<std::byte> wire;
+  for (const auto* p : {&p1, &p2}) {
+    const auto header = raw_header(static_cast<std::uint32_t>(p->size()));
+    wire.insert(wire.end(), header.begin(), header.end());
+    wire.insert(wire.end(), p->begin(), p->end());
+  }
+  std::thread writer([&]() {
+    std::size_t off = 0;
+    while (off < wire.size()) {
+      const std::size_t n = std::min<std::size_t>(3, wire.size() - off);
+      ASSERT_EQ(::send(sp.a, wire.data() + off, n, 0), static_cast<ssize_t>(n));
+      off += n;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  std::vector<std::byte> got1, got2;
+  EXPECT_TRUE(read_frame(sp.b, got1));
+  EXPECT_TRUE(read_frame(sp.b, got2));
+  writer.join();
+  EXPECT_EQ(got1, p1);
+  EXPECT_EQ(got2, p2);
+}
+
+TEST(SocketIo, PeerCloseBeforeHeaderIsOrderlyEnd) {
+  SocketPair sp;
+  sp.close_a();
+  std::vector<std::byte> got;
+  EXPECT_FALSE(read_frame(sp.b, got));
+}
+
+TEST(SocketIo, PeerCloseMidHeaderFails) {
+  SocketPair sp;
+  const auto header = raw_header(100);
+  ASSERT_EQ(::send(sp.a, header.data(), 2, 0), 2);  // half a header
+  sp.close_a();
+  std::vector<std::byte> got;
+  EXPECT_FALSE(read_frame(sp.b, got));
+}
+
+TEST(SocketIo, PeerCloseMidPayloadFails) {
+  SocketPair sp;
+  const auto header = raw_header(100);
+  ASSERT_EQ(::send(sp.a, header.data(), 4, 0), 4);
+  const auto partial = make_payload(40);  // 40 of the promised 100 bytes
+  ASSERT_EQ(::send(sp.a, partial.data(), partial.size(), 0),
+            static_cast<ssize_t>(partial.size()));
+  sp.close_a();
+  std::vector<std::byte> got;
+  EXPECT_FALSE(read_frame(sp.b, got));
+}
+
+TEST(SocketIo, OversizedFrameLengthRejected) {
+  SocketPair sp;
+  const auto header = raw_header(kMaxFrameBytes + 1);
+  ASSERT_EQ(::send(sp.a, header.data(), 4, 0), 4);
+  std::vector<std::byte> got;
+  EXPECT_FALSE(read_frame(sp.b, got));
+}
+
+TEST(SocketIo, MaxSizedLengthHeaderAccepted) {
+  // A length of exactly kMaxFrameBytes passes the cap check (the read
+  // then proceeds); anything above is cut off before allocation.  Use a
+  // small-but-legal frame to keep the test fast and assert the boundary
+  // via the reject test above.
+  SocketPair sp;
+  const auto payload = make_payload(64 * 1024);
+  std::thread writer([&]() { ASSERT_TRUE(write_frame(sp.a, payload)); });
+  std::vector<std::byte> got;
+  EXPECT_TRUE(read_frame(sp.b, got));
+  writer.join();
+  EXPECT_EQ(got.size(), payload.size());
+}
+
+// ------------------------------------------------------------- EINTR
+
+std::atomic<int> g_sigusr1_count{0};
+void count_sigusr1(int) { ++g_sigusr1_count; }
+
+TEST(SocketIo, ReadRetriesAfterEintr) {
+  // Install a SIGUSR1 handler *without* SA_RESTART so a blocked recv
+  // actually returns EINTR, then pepper the reader thread with signals
+  // before delivering the frame.  read_frame must retry and succeed.
+  struct sigaction sa{};
+  sa.sa_handler = count_sigusr1;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: recv returns EINTR
+  struct sigaction old{};
+  ASSERT_EQ(sigaction(SIGUSR1, &sa, &old), 0);
+
+  SocketPair sp;
+  g_sigusr1_count = 0;
+  std::atomic<bool> read_ok{false};
+  std::vector<std::byte> got;
+  std::thread reader([&]() { read_ok = read_frame(sp.b, got); });
+  const pthread_t reader_handle = reader.native_handle();
+
+  // Give the reader time to block, then interrupt it repeatedly.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  for (int i = 0; i < 5; ++i) {
+    pthread_kill(reader_handle, SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const auto payload = make_payload(256);
+  ASSERT_TRUE(write_frame(sp.a, payload));
+  reader.join();
+  sigaction(SIGUSR1, &old, nullptr);
+
+  EXPECT_TRUE(read_ok.load());
+  EXPECT_EQ(got, payload);
+  EXPECT_GT(g_sigusr1_count.load(), 0);
+}
+
+}  // namespace
+}  // namespace adr::net

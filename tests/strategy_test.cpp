@@ -86,7 +86,9 @@ TEST_P(StrategyTest, ReadsCoverEveryMappedInputChunk) {
     for (const auto& tile : node) read.insert(tile.reads.begin(), tile.reads.end());
   }
   for (std::uint32_t i = 0; i < s.mapping.num_inputs(); ++i) {
-    if (!s.mapping.in_to_out[i].empty()) EXPECT_TRUE(read.contains(i)) << "input " << i;
+    if (!s.mapping.in_to_out[i].empty()) {
+      EXPECT_TRUE(read.contains(i)) << "input " << i;
+    }
   }
 }
 
