@@ -1,0 +1,240 @@
+// Submit throughput: cold vs warm queries/sec on the thread backend over
+// a file-backed disk farm, ablating the two serving-path optimisations —
+// executor reuse (persistent warm node-thread pools) and the cross-query
+// chunk cache.  Emits BENCH_submit_throughput.json for CI artifacts.
+//
+// Cold = the first submit against a fresh repository (spawns node
+// threads, reads every chunk from its disk file).  Warm = the average of
+// the following --iters identical submits (warm executor, hot cache).
+//
+// flags: --iters=<n> (default 20)  --out=<path>  --nodes=<n>  --help
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/frontend.hpp"
+
+namespace {
+
+using adr::Chunk;
+using adr::ChunkMeta;
+using adr::Point;
+using adr::Query;
+using adr::QueryResult;
+using adr::Rect;
+using adr::Repository;
+using adr::RepositoryConfig;
+
+struct Args {
+  int iters = 20;
+  int nodes = 4;
+  std::string out_path = "BENCH_submit_throughput.json";
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--iters=")) {
+      args.iters = std::stoi(v);
+    } else if (const char* v = value("--nodes=")) {
+      args.nodes = std::stoi(v);
+    } else if (const char* v = value("--out=")) {
+      args.out_path = v;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "flags: --iters=<n> --nodes=<n> --out=<path>\n";
+      std::exit(0);
+    }
+  }
+  return args;
+}
+
+Rect cell(const Rect& domain, int n, int ix, int iy) {
+  const double dx = domain.extent(0) / n;
+  const double dy = domain.extent(1) / n;
+  const double e = 1e-9;
+  return Rect(Point{domain.lo()[0] + ix * dx + e * dx, domain.lo()[1] + iy * dy + e * dy},
+              Point{domain.lo()[0] + (ix + 1) * dx - e * dx,
+                    domain.lo()[1] + (iy + 1) * dy - e * dy});
+}
+
+// 24x24 input chunks of 8 KiB each (~4.5 MiB dataset) over a 4x4 output
+// grid: enough real file I/O per query that the chunk cache is visible,
+// small enough for a CI smoke run.
+constexpr int kInputSide = 24;
+constexpr int kOutputSide = 4;
+constexpr std::size_t kValuesPerChunk = 1024;  // u64s -> 8 KiB payload
+
+std::vector<Chunk> make_inputs() {
+  std::vector<Chunk> chunks;
+  const Rect domain = Rect::cube(2, 0.0, 1.0);
+  std::mt19937_64 rng(42);
+  for (int iy = 0; iy < kInputSide; ++iy) {
+    for (int ix = 0; ix < kInputSide; ++ix) {
+      ChunkMeta meta;
+      meta.mbr = cell(domain, kInputSide, ix, iy);
+      std::vector<std::uint64_t> vals(kValuesPerChunk);
+      for (auto& v : vals) v = rng() % 1000;
+      std::vector<std::byte> payload(vals.size() * sizeof(std::uint64_t));
+      std::memcpy(payload.data(), vals.data(), payload.size());
+      chunks.emplace_back(meta, std::move(payload));
+    }
+  }
+  return chunks;
+}
+
+std::vector<Chunk> make_outputs() {
+  std::vector<Chunk> chunks;
+  const Rect domain = Rect::cube(2, 0.0, 1.0);
+  for (int iy = 0; iy < kOutputSide; ++iy) {
+    for (int ix = 0; ix < kOutputSide; ++ix) {
+      ChunkMeta meta;
+      meta.mbr = cell(domain, kOutputSide, ix, iy);
+      chunks.emplace_back(meta, std::vector<std::byte>(24, std::byte{0}));
+    }
+  }
+  return chunks;
+}
+
+struct ConfigResult {
+  std::string name;
+  bool reuse_executor = false;
+  bool cache = false;
+  double cold_qps = 0.0;
+  double warm_qps = 0.0;
+  std::uint64_t warm_cache_hits = 0;
+  std::uint64_t executors_created = 0;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+ConfigResult run_config(const Args& args, bool reuse_executor, bool cache,
+                        const std::filesystem::path& dir) {
+  RepositoryConfig cfg;
+  cfg.backend = RepositoryConfig::Backend::kThreads;
+  cfg.num_nodes = args.nodes;
+  cfg.memory_per_node = 4ull << 20;
+  cfg.storage_dir = dir;
+  cfg.reuse_executor = reuse_executor;
+  cfg.chunk_cache_bytes_per_node = cache ? (64ull << 20) : 0;
+  Repository repo(cfg);
+  const auto in = repo.create_dataset("in", Rect::cube(2, 0.0, 1.0), make_inputs());
+  const auto out = repo.create_dataset("out", Rect::cube(2, 0.0, 1.0), make_outputs());
+
+  Query query;
+  query.input_dataset = in;
+  query.output_dataset = out;
+  query.range = Rect(Point{0.0, 0.0}, Point{0.999, 0.999});
+  query.aggregation = "sum-count-max";
+  query.delivery = adr::OutputDelivery::kReturnToClient;
+
+  ConfigResult r;
+  r.reuse_executor = reuse_executor;
+  r.cache = cache;
+  r.name = std::string(reuse_executor ? "reuse" : "fresh") + "+" +
+           (cache ? "cache" : "nocache");
+
+  auto t0 = std::chrono::steady_clock::now();
+  const QueryResult cold = repo.submit(query);
+  r.cold_qps = 1.0 / seconds_since(t0);
+  if (cold.outputs.empty()) {
+    std::cerr << "bench: cold query produced no outputs\n";
+    std::exit(1);
+  }
+
+  t0 = std::chrono::steady_clock::now();
+  std::uint64_t hits = 0;
+  for (int i = 0; i < args.iters; ++i) {
+    const QueryResult warm = repo.submit(query);
+    hits += warm.cache_hits;
+    if (warm.outputs.size() != cold.outputs.size() ||
+        warm.outputs[0].payload() != cold.outputs[0].payload()) {
+      std::cerr << "bench: warm result diverged from cold result\n";
+      std::exit(1);
+    }
+  }
+  r.warm_qps = args.iters / seconds_since(t0);
+  r.warm_cache_hits = hits;
+  r.executors_created = repo.executor_pool_stats().created;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+
+  const auto base = std::filesystem::temp_directory_path() /
+                    ("adr_bench_submit_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(base);
+
+  std::vector<ConfigResult> results;
+  int k = 0;
+  for (const bool reuse : {false, true}) {
+    for (const bool cache : {false, true}) {
+      const auto dir = base / ("cfg" + std::to_string(k++));
+      std::filesystem::create_directories(dir);
+      results.push_back(run_config(args, reuse, cache, dir));
+    }
+  }
+  std::filesystem::remove_all(base);
+
+  adr::Table table({"config", "cold qps", "warm qps", "warm/cold", "cache hits",
+                    "executors built"});
+  for (const auto& r : results) {
+    table.add_row({r.name, adr::fmt(r.cold_qps, 2), adr::fmt(r.warm_qps, 2),
+                   adr::fmt(r.warm_qps / r.cold_qps, 2),
+                   std::to_string(r.warm_cache_hits),
+                   std::to_string(r.executors_created)});
+  }
+  std::cout << "submit throughput (" << args.iters << " warm iters, "
+            << args.nodes << " nodes, file-backed store)\n";
+  table.print(std::cout);
+
+  std::ofstream json(args.out_path);
+  json << "{\n  \"bench\": \"submit_throughput\",\n"
+       << "  \"iters\": " << args.iters << ",\n"
+       << "  \"nodes\": " << args.nodes << ",\n"
+       << "  \"input_chunks\": " << kInputSide * kInputSide << ",\n"
+       << "  \"chunk_bytes\": " << kValuesPerChunk * sizeof(std::uint64_t) << ",\n"
+       << "  \"configs\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    json << "    {\"name\": \"" << r.name << "\", \"reuse_executor\": "
+         << (r.reuse_executor ? "true" : "false")
+         << ", \"cache\": " << (r.cache ? "true" : "false")
+         << ", \"cold_qps\": " << r.cold_qps << ", \"warm_qps\": " << r.warm_qps
+         << ", \"warm_over_cold\": " << r.warm_qps / r.cold_qps
+         << ", \"warm_cache_hits\": " << r.warm_cache_hits
+         << ", \"executors_created\": " << r.executors_created << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "wrote " << args.out_path << "\n";
+
+  // The acceptance bar: with both optimisations on, warm throughput must
+  // clear 1.5x cold.
+  const auto& full = results.back();
+  if (full.warm_qps < 1.5 * full.cold_qps) {
+    std::cerr << "bench: warm qps " << full.warm_qps << " < 1.5x cold "
+              << full.cold_qps << "\n";
+    return 1;
+  }
+  return 0;
+}

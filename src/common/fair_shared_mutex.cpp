@@ -1,0 +1,64 @@
+#include "common/fair_shared_mutex.hpp"
+
+namespace adr {
+
+void FairSharedMutex::lock() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++waiting_writers_;
+  writers_cv_.wait(lock, [this]() { return !writer_active_ && active_readers_ == 0; });
+  --waiting_writers_;
+  writer_active_ = true;
+}
+
+bool FairSharedMutex::try_lock() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (writer_active_ || active_readers_ > 0) return false;
+  writer_active_ = true;
+  return true;
+}
+
+void FairSharedMutex::unlock() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  writer_active_ = false;
+  if (waiting_readers_ > 0) {
+    // Reader phase: everyone who queued while this writer held or waited
+    // goes next, as one bounded batch.
+    reader_passes_ = waiting_readers_;
+    readers_cv_.notify_all();
+  } else if (waiting_writers_ > 0) {
+    writers_cv_.notify_one();
+  }
+}
+
+void FairSharedMutex::lock_shared() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++waiting_readers_;
+  readers_cv_.wait(lock, [this]() {
+    return !writer_active_ && (waiting_writers_ == 0 || reader_passes_ > 0);
+  });
+  --waiting_readers_;
+  if (reader_passes_ > 0) --reader_passes_;
+  ++active_readers_;
+}
+
+bool FairSharedMutex::try_lock_shared() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (writer_active_ || waiting_writers_ > 0) return false;
+  ++active_readers_;
+  return true;
+}
+
+void FairSharedMutex::unlock_shared() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (--active_readers_ == 0) {
+    if (waiting_writers_ > 0) {
+      writers_cv_.notify_one();
+    } else if (waiting_readers_ > 0) {
+      // No writer to hand off to: wake any readers that queued behind a
+      // writer which timed out of existence (try_lock failure paths).
+      readers_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace adr

@@ -1,0 +1,51 @@
+// Phase-fair reader/writer lock.
+//
+// std::shared_mutex on glibc is a pthread rwlock whose default policy
+// prefers readers: a steady stream of shared lockers (Repository::submit)
+// can starve an exclusive locker (create_dataset) indefinitely.  This
+// lock bounds writer wait instead: a waiting writer blocks *new* readers,
+// so it only waits for the readers already inside, and when it releases,
+// the readers that queued up behind it are admitted as one batch before
+// the next writer — readers and writers alternate in phases, neither side
+// starves.
+//
+// Satisfies the SharedLockable / Lockable requirements, so it drops in
+// behind std::shared_lock / std::unique_lock.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+namespace adr {
+
+class FairSharedMutex {
+ public:
+  FairSharedMutex() = default;
+  FairSharedMutex(const FairSharedMutex&) = delete;
+  FairSharedMutex& operator=(const FairSharedMutex&) = delete;
+
+  // Exclusive.
+  void lock();
+  bool try_lock();
+  void unlock();
+
+  // Shared.
+  void lock_shared();
+  bool try_lock_shared();
+  void unlock_shared();
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable readers_cv_;
+  std::condition_variable writers_cv_;
+  int active_readers_ = 0;
+  int waiting_readers_ = 0;
+  int waiting_writers_ = 0;
+  bool writer_active_ = false;
+  /// Readers admitted past waiting writers in the current reader phase:
+  /// snapshotted from waiting_readers_ when a writer releases, so the
+  /// batch is bounded and late arrivals queue behind the next writer.
+  int reader_passes_ = 0;
+};
+
+}  // namespace adr

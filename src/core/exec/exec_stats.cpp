@@ -91,6 +91,10 @@ std::string ExecStats::summary() const {
      << phase_init_s << '/' << phase_lr_s << '/' << phase_gc_s << '/' << phase_oh_s
      << " read=" << total_bytes_read() << "B sent=" << total_bytes_sent()
      << "B pairs=" << total_lr_pairs();
+  if (cache_hits + cache_misses + cache_evictions > 0) {
+    os << " cache(hit/miss/evict)=" << cache_hits << '/' << cache_misses << '/'
+       << cache_evictions;
+  }
   return os.str();
 }
 

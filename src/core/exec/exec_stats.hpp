@@ -79,6 +79,16 @@ struct ExecStats {
   double total_s = 0.0;
   int tiles = 0;
 
+  /// Cross-query chunk-cache traffic attributed to this query (thread
+  /// backend with CachingChunkStore; all zero otherwise).  The cache sits
+  /// below the engine, so chunks_read / bytes_read above are unchanged —
+  /// these say how many of those reads were served from memory.  Under
+  /// concurrent submits the attribution is approximate (counters are
+  /// shared across in-flight queries).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+
   /// Per-node phase timeline (populated when ExecOptions::record_trace).
   std::vector<PhaseSpan> trace;
 

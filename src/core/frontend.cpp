@@ -23,6 +23,36 @@ Repository::Repository(const RepositoryConfig& config) : config_(config) {
     store_ = std::make_unique<FileChunkStore>(
         config_.storage_dir, config_.total_disks(), config_.open_existing);
   }
+  // The chunk cache serves the real (thread) backend: repeated queries
+  // over warm regions and FRA tile-boundary re-reads stop paying storage
+  // latency.  The simulated backend charges modelled I/O times that a
+  // real cache must not short-circuit.
+  if (config_.backend == RepositoryConfig::Backend::kThreads &&
+      config_.chunk_cache_bytes_per_node > 0) {
+    const std::uint64_t per_disk = std::max<std::uint64_t>(
+        1, config_.chunk_cache_bytes_per_node /
+               static_cast<std::uint64_t>(config_.disks_per_node));
+    cache_ = std::make_unique<CachingChunkStore>(*store_, per_disk);
+  }
+}
+
+ChunkCacheStats Repository::chunk_cache_stats() const {
+  return cache_ ? cache_->stats() : ChunkCacheStats{};
+}
+
+ThreadExecutorPool& Repository::thread_pool() {
+  std::lock_guard lock(executor_pool_mutex_);
+  if (executor_pool_ == nullptr) {
+    executor_pool_ = std::make_unique<ThreadExecutorPool>(
+        config_.num_nodes, config_.disks_per_node, &active_store(),
+        config_.executor_pool_size);
+  }
+  return *executor_pool_;
+}
+
+ThreadExecutorPool::Stats Repository::executor_pool_stats() const {
+  std::lock_guard lock(executor_pool_mutex_);
+  return executor_pool_ ? executor_pool_->stats() : ThreadExecutorPool::Stats{};
 }
 
 std::uint32_t Repository::create_dataset(const std::string& name, const Rect& domain,
@@ -34,7 +64,7 @@ std::uint32_t Repository::create_dataset(const std::string& name, const Rect& do
   options.decluster.method = method;
   options.decluster.num_disks = config_.total_disks();
   options.store_payloads = config_.store_payloads;
-  Dataset ds = load_dataset(id, name, domain, std::move(chunks), *store_, options);
+  Dataset ds = load_dataset(id, name, domain, std::move(chunks), active_store(), options);
   if (config_.index != "rtree") {
     ds.build_index(indices_.create(config_.index));
   }
@@ -169,9 +199,28 @@ QueryResult Repository::submit_locked(const Query& query, const ComputeCosts& co
     result.stats = execute_query(executor, planned, all_inputs, output, op, costs,
                                  config_.disks_per_node, options);
   } else {
-    ThreadExecutor executor(config_.num_nodes, config_.disks_per_node, store_.get());
-    result.stats = execute_query(executor, planned, all_inputs, output, op, costs,
-                                 config_.disks_per_node, options);
+    const ChunkCacheStats cache_before = cache_ ? cache_->stats() : ChunkCacheStats{};
+    if (config_.reuse_executor) {
+      // Exclusive lease on a warm executor; released (kept resident)
+      // when the lease leaves scope.
+      ThreadExecutorPool::Lease lease = thread_pool().acquire();
+      result.stats = execute_query(*lease, planned, all_inputs, output, op, costs,
+                                   config_.disks_per_node, options);
+    } else {
+      ThreadExecutor executor(config_.num_nodes, config_.disks_per_node,
+                              &active_store());
+      result.stats = execute_query(executor, planned, all_inputs, output, op, costs,
+                                   config_.disks_per_node, options);
+    }
+    if (cache_ != nullptr) {
+      const ChunkCacheStats after = cache_->stats();
+      result.stats.cache_hits = after.hits - cache_before.hits;
+      result.stats.cache_misses = after.misses - cache_before.misses;
+      result.stats.cache_evictions = after.evictions - cache_before.evictions;
+      result.cache_hits = result.stats.cache_hits;
+      result.cache_misses = result.stats.cache_misses;
+      result.cache_evictions = result.stats.cache_evictions;
+    }
   }
 
   if (!delivered.empty()) {
@@ -227,6 +276,38 @@ std::uint64_t QuerySubmissionService::enqueue(Query query, ComputeCosts costs,
   queue_.push_back(Pending{ticket, client_id, std::move(query), costs});
   work_cv_.notify_one();
   return ticket;
+}
+
+std::uint64_t QuerySubmissionService::try_enqueue(Query query, ComputeCosts costs,
+                                                  std::uint64_t client_id) {
+  std::lock_guard lock(mutex_);
+  if (queue_.size() + in_flight_ >= max_pending_) return 0;
+  const std::uint64_t ticket = next_ticket_++;
+  queue_.push_back(Pending{ticket, client_id, std::move(query), costs});
+  work_cv_.notify_one();
+  return ticket;
+}
+
+QuerySubmissionService::Outcome QuerySubmissionService::take(std::uint64_t ticket) {
+  std::unique_lock lock(mutex_);
+  Outcome out;
+  if (ticket == 0 || ticket >= next_ticket_) {
+    out.error = "unknown ticket";
+    return out;
+  }
+  done_cv_.wait(lock, [&]() {
+    return results_.contains(ticket) || errors_.contains(ticket);
+  });
+  if (auto it = results_.find(ticket); it != results_.end()) {
+    out.ok = true;
+    out.result = std::move(it->second);
+    results_.erase(it);
+  } else {
+    auto eit = errors_.find(ticket);
+    out.error = std::move(eit->second);
+    errors_.erase(eit);
+  }
+  return out;
 }
 
 bool QuerySubmissionService::pop_runnable(Pending& out) {
@@ -342,7 +423,7 @@ std::optional<Chunk> Repository::read_chunk(std::uint32_t dataset_id,
   auto it = datasets_.find(dataset_id);
   if (it == datasets_.end()) throw std::out_of_range("Repository: unknown dataset");
   const ChunkMeta& meta = it->second.chunk(index);
-  return store_->get(meta.disk, meta.id);
+  return active_store().get(meta.disk, meta.id);
 }
 
 void Repository::save_catalog(const std::filesystem::path& path) const {

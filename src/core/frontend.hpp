@@ -35,13 +35,16 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/fair_shared_mutex.hpp"
 #include "core/aggregation.hpp"
 #include "core/attribute_space.hpp"
 #include "core/exec/exec_stats.hpp"
 #include "core/exec/query_executor.hpp"
 #include "core/planner/planner.hpp"
 #include "core/query.hpp"
+#include "runtime/executor_pool.hpp"
 #include "sim/cluster.hpp"
+#include "storage/chunk_cache.hpp"
 #include "storage/dataset.hpp"
 #include "storage/decluster.hpp"
 #include "storage/disk_store.hpp"
@@ -73,6 +76,17 @@ struct RepositoryConfig {
   /// Reattach to an existing file-backed farm instead of truncating it
   /// (pair with load_catalog() to restore the dataset metadata).
   bool open_existing = false;
+  /// Thread backend: serve submits from a persistent pool of warm node-
+  /// thread executors instead of spawning num_nodes threads per query.
+  bool reuse_executor = true;
+  /// Warm executors kept resident between submits (extra concurrent
+  /// submits still get fresh executors — acquisition never blocks).
+  std::size_t executor_pool_size = 2;
+  /// Per-node byte budget for the cross-query chunk cache wrapped around
+  /// the store on the thread backend (split evenly over the node's
+  /// disks).  0 disables the cache.  The simulated backend never caches:
+  /// its I/O costs are modelled, not paid.
+  std::uint64_t chunk_cache_bytes_per_node = 64ull * 1024 * 1024;
 
   int total_disks() const { return num_nodes * disks_per_node; }
 };
@@ -82,6 +96,11 @@ struct QueryResult {
   int tiles = 0;
   std::uint64_t ghost_chunks = 0;
   std::uint64_t chunk_reads = 0;
+  /// Chunk-cache traffic attributed to this query (mirrors
+  /// stats.cache_*; zero when the cache is disabled).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
   ExecStats stats;
   /// Cost estimates per strategy when the query used kAuto.
   std::vector<std::pair<StrategyKind, CostEstimate>> estimates;
@@ -91,17 +110,21 @@ struct QueryResult {
 };
 
 /// Thread safety: Repository serves concurrent clients.  The dataset
-/// catalog (datasets_ / next_dataset_id_) is guarded by a shared mutex:
+/// catalog (datasets_ / next_dataset_id_) is guarded by a phase-fair
+/// shared mutex (writers are never starved by a stream of submits):
 /// submit() and the other readers hold it shared for their whole run, so
 /// a dataset can never be replaced or destroyed mid-query; create_dataset()
-/// and load_catalog() take it exclusive.  The chunk store has its own
-/// internal lock.  Locking order (never acquire in the other direction):
+/// and load_catalog() take it exclusive.  The chunk store / chunk cache
+/// and the executor pool have their own internal locks.  Locking order
+/// (never acquire in the other direction):
 ///
-///   catalog_mutex_  ->  ChunkStore internal mutex  ->  executor internals
+///   catalog_mutex_  ->  executor pool mutex  ->  chunk cache shard mutex
+///                   ->  ChunkStore internal mutex  ->  executor internals
 ///
 /// Registries (attribute spaces, aggregations, indices) are expected to be
 /// populated before concurrent serving starts; lookups are read-only.
-/// Per-query planner/executor state is entirely stack-local.
+/// Per-query planner/executor state is entirely stack-local; the leased
+/// executor is exclusive to its query.
 class Repository {
  public:
   explicit Repository(const RepositoryConfig& config);
@@ -111,7 +134,18 @@ class Repository {
   AttributeSpaceService& attribute_spaces() { return spaces_; }
   AggregationService& aggregations() { return aggregations_; }
   IndexRegistry& indices() { return indices_; }
-  ChunkStore& store() { return *store_; }
+  /// The store every component reads and writes through: the caching
+  /// decorator when the chunk cache is enabled, else the raw farm.
+  ChunkStore& store() { return active_store(); }
+
+  /// The chunk cache, or nullptr when disabled.
+  const CachingChunkStore* chunk_cache() const { return cache_.get(); }
+  /// Cache counters so far (zeros when the cache is disabled).
+  ChunkCacheStats chunk_cache_stats() const;
+
+  /// Executor-pool counters so far (zeros before the first thread-backend
+  /// submit or when reuse_executor is off).
+  ThreadExecutorPool::Stats executor_pool_stats() const;
 
   /// Loads a dataset (paper's four-step load) and returns its id.
   std::uint32_t create_dataset(const std::string& name, const Rect& domain,
@@ -149,16 +183,25 @@ class Repository {
  private:
   QueryResult submit_locked(const Query& query, const ComputeCosts& costs,
                             const ExecOptions& exec_options);
+  ChunkStore& active_store() { return cache_ ? *cache_ : *store_; }
+  const ChunkStore& active_store() const { return cache_ ? *cache_ : *store_; }
+  /// Lazily creates the shared executor pool (thread backend only).
+  ThreadExecutorPool& thread_pool();
 
   RepositoryConfig config_;
   std::unique_ptr<ChunkStore> store_;
+  /// Decorates store_ when chunk_cache_bytes_per_node > 0 (threads).
+  std::unique_ptr<CachingChunkStore> cache_;
   AttributeSpaceService spaces_;
   AggregationService aggregations_;
   IndexRegistry indices_;
   /// Guards datasets_ and next_dataset_id_ (see class comment).
-  mutable std::shared_mutex catalog_mutex_;
+  mutable FairSharedMutex catalog_mutex_;
   std::map<std::uint32_t, Dataset> datasets_;
   std::uint32_t next_dataset_id_ = 0;
+  /// Lazily-created pool of warm thread executors shared by all submits.
+  mutable std::mutex executor_pool_mutex_;
+  std::unique_ptr<ThreadExecutorPool> executor_pool_;
 };
 
 /// Query submission service (paper Fig. 2): clients enqueue queries
@@ -199,6 +242,25 @@ class QuerySubmissionService {
   /// each other.  Blocks for a free slot when the pool is saturated.
   std::uint64_t enqueue(Query query, ComputeCosts costs = {},
                         std::uint64_t client_id = 0);
+
+  /// Non-blocking enqueue: returns 0 instead of waiting when max_pending
+  /// accepted queries are already queued or running (the server turns
+  /// this into a protocol-level "server busy" refusal).
+  std::uint64_t try_enqueue(Query query, ComputeCosts costs = {},
+                            std::uint64_t client_id = 0);
+
+  /// A finished query's outcome, moved out of the service.
+  struct Outcome {
+    bool ok = false;
+    QueryResult result;  // valid when ok
+    std::string error;   // set when !ok
+  };
+
+  /// Blocks until the ticket's query finishes, then removes its result
+  /// (or error) from the service and returns it.  Unlike wait()/result(),
+  /// the service retains nothing afterwards — the call long-running
+  /// servers use so the results map cannot grow without bound.
+  Outcome take(std::uint64_t ticket);
 
   /// Runs every pending query in FIFO order on this thread when no pool
   /// is running; with a pool, equivalent to drain().  Returns how many

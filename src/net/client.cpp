@@ -38,7 +38,16 @@ WireResult AdrClient::submit(const Query& query) {
   if (!read_frame(fd_, payload)) {
     throw std::runtime_error("AdrClient: connection closed before result");
   }
-  return decode_result(payload);
+  WireResult result = decode_result(payload);
+  if (result.server_busy()) {
+    // Protocol-level refusal (connection cap or scheduler queue full):
+    // the server closes this connection after the busy frame, so drop
+    // our side too — connected() turns false and the caller knows to
+    // reconnect and retry rather than treat this as a crash.
+    ::close(fd_);
+    fd_ = -1;
+  }
+  return result;
 }
 
 }  // namespace adr::net

@@ -23,7 +23,10 @@ class AdrClient {
 
   /// Sends the query and waits for the result.  Throws WireError /
   /// std::runtime_error on protocol or transport failure; a server-side
-  /// query failure comes back as WireResult{ok=false, error}.
+  /// query failure comes back as WireResult{ok=false, error}.  A
+  /// saturated server answers WireResult{ok=false, "server busy"}
+  /// (check server_busy()) and closes the connection — connected()
+  /// turns false; reconnect and retry later.
   WireResult submit(const Query& query);
 
   bool connected() const { return fd_ >= 0; }

@@ -15,10 +15,18 @@
 namespace adr::net {
 
 AdrServer::AdrServer(Repository& repository, std::uint16_t port,
-                     const ComputeCosts& costs, int max_connections)
-    : repository_(&repository), costs_(costs), max_connections_(max_connections) {
+                     const ComputeCosts& costs, int max_connections,
+                     int scheduler_workers, std::size_t max_pending)
+    : repository_(&repository),
+      costs_(costs),
+      scheduler_(repository, max_pending),
+      scheduler_workers_(scheduler_workers),
+      max_connections_(max_connections) {
   if (max_connections_ < 1) {
     throw std::invalid_argument("AdrServer: max_connections must be >= 1");
+  }
+  if (scheduler_workers_ < 1) {
+    throw std::invalid_argument("AdrServer: scheduler_workers must be >= 1");
   }
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw std::runtime_error("AdrServer: socket() failed");
@@ -49,6 +57,7 @@ AdrServer::~AdrServer() { stop(); }
 
 void AdrServer::start() {
   if (running_.exchange(true)) return;
+  scheduler_.start(scheduler_workers_);
   accept_thread_ = std::thread([this]() { accept_loop(); });
 }
 
@@ -86,6 +95,9 @@ void AdrServer::stop() {
     }
     if (conn->thread.joinable()) conn->thread.join();
   }
+  // All connection threads have collected their tickets; now drain and
+  // join the scheduler workers.
+  scheduler_.stop();
 }
 
 std::size_t AdrServer::active_connections() const {
@@ -122,12 +134,12 @@ void AdrServer::accept_loop() {
     std::lock_guard lock(conn_mutex_);
     reap_finished_locked();
     if (live_fds_.size() >= static_cast<std::size_t>(max_connections_)) {
-      // Count before close: the close is the client-visible refusal
-      // signal, so the counter must already reflect it by the time the
-      // client's read returns EOF.
+      // Count before the frame goes out: the busy frame is the client-
+      // visible refusal signal, so the counter must already reflect it
+      // by the time the client decodes it.
       ++refused_;
       ADR_WARN("server: refused connection, " << live_fds_.size() << " active");
-      ::close(fd);  // at capacity: orderly close is the refusal signal
+      refuse_with_busy_frame(fd);  // at capacity: protocol-level refusal
       continue;
     }
     auto conn = std::make_unique<Conn>();
@@ -140,8 +152,33 @@ void AdrServer::accept_loop() {
   }
 }
 
+void AdrServer::refuse_with_busy_frame(int fd) {
+  WireResult busy;
+  busy.ok = false;
+  busy.error = kServerBusyError;
+  write_frame(fd, encode_result(busy));
+  // Graceful close: half-close our side, then drain whatever the client
+  // was still sending so the kernel never answers it with an RST that
+  // would destroy the busy frame before the client reads it.  The drain
+  // is bounded by a receive timeout against stubborn peers.
+  ::shutdown(fd, SHUT_WR);
+  timeval timeout{};
+  timeout.tv_usec = 200 * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  char sink[1024];
+  while (::read(fd, sink, sizeof(sink)) > 0) {
+  }
+  ::close(fd);
+}
+
 void AdrServer::serve_connection(Conn* conn) {
   const int fd = conn->fd;
+  // Each connection is one FIFO lane in the scheduler: queries on a
+  // connection keep their serial semantics while independent connections
+  // share the worker pool (and, below it, the repository's warm executor
+  // pool and chunk cache).
+  const std::uint64_t client_id = next_client_id_.fetch_add(1);
+  bool refused_busy = false;
   // Serve frames until the client closes, errors, or stop() half-closes.
   for (;;) {
     std::vector<std::byte> payload;
@@ -149,14 +186,32 @@ void AdrServer::serve_connection(Conn* conn) {
     WireResult result;
     try {
       const Query query = decode_query(payload);
-      result = to_wire_result(repository_->submit(query, costs_));
-      ++served_;
+      const std::uint64_t ticket = scheduler_.try_enqueue(query, costs_, client_id);
+      if (ticket == 0) {
+        // Scheduler saturated: protocol-level refusal, then close.
+        ++queries_refused_;
+        ADR_WARN("server: scheduler full, refusing query on fd=" << fd);
+        result.ok = false;
+        result.error = kServerBusyError;
+        refused_busy = true;
+      } else {
+        QuerySubmissionService::Outcome outcome = scheduler_.take(ticket);
+        if (outcome.ok) {
+          result = to_wire_result(outcome.result);
+          ++served_;
+        } else {
+          result.ok = false;
+          result.error = outcome.error;
+          ADR_WARN("server: query failed: " << outcome.error);
+        }
+      }
     } catch (const std::exception& e) {
       result.ok = false;
       result.error = e.what();
       ADR_WARN("server: query failed: " << e.what());
     }
     if (!write_frame(fd, encode_result(result))) break;
+    if (refused_busy) break;
   }
   // Deregister before closing so stop() can never shutdown() a recycled
   // descriptor; the connection thread is the only closer of its fd.

@@ -6,12 +6,18 @@
 //
 // AdrServer listens on a TCP port (loopback by default) and serves each
 // accepted client on its own connection thread: length-prefixed query
-// frames are decoded, submitted to the (thread-safe) Repository, and
-// answered with a result frame carrying the summary and any
-// return-to-client output chunks.  Many clients run concurrently, up to
-// `max_connections`; beyond that, new connections are accepted and
-// immediately closed (the client sees an orderly close before its first
-// result — back-pressure at the front door).
+// frames are decoded and routed through the server's
+// QuerySubmissionService worker pool (the paper's query submission
+// service), so server-side execution concurrency is bounded by scheduler
+// slots — not by the connection count — and every client shares the
+// repository's warm executor pool and chunk cache.  The connection
+// thread blocks on its ticket and answers with a result frame carrying
+// the summary and any return-to-client output chunks.
+//
+// Back-pressure is protocol-level: past `max_connections`, or when the
+// scheduler's pending queue is full, the server replies with a
+// WireResult{ok=false, error="server busy"} frame and then closes, so
+// clients can distinguish refusal from crash.
 //
 // fd ownership: each connection's fd is closed only by its connection
 // thread.  stop() never closes a connection fd from outside; it
@@ -40,9 +46,13 @@ class AdrServer {
  public:
   /// Binds to 127.0.0.1:`port` (0 = pick an ephemeral port).  `costs`
   /// are the compute charges applied to every submitted query.
-  /// `max_connections` bounds concurrently served clients.
+  /// `max_connections` bounds concurrently served clients;
+  /// `scheduler_workers` bounds concurrently *executing* queries and
+  /// `max_pending` bounds accepted-but-unfinished queries (beyond it,
+  /// submits are refused with a "server busy" frame).
   AdrServer(Repository& repository, std::uint16_t port,
-            const ComputeCosts& costs = {}, int max_connections = 64);
+            const ComputeCosts& costs = {}, int max_connections = 64,
+            int scheduler_workers = 4, std::size_t max_pending = 256);
   ~AdrServer();
 
   AdrServer(const AdrServer&) = delete;
@@ -64,8 +74,12 @@ class AdrServer {
   /// Connections currently being served.
   std::size_t active_connections() const;
 
-  /// Connections refused because max_connections was reached.
+  /// Connections refused because max_connections was reached (each got a
+  /// "server busy" frame before the close).
   std::uint64_t connections_refused() const { return refused_.load(); }
+
+  /// Queries refused because the scheduler's pending queue was full.
+  std::uint64_t queries_refused() const { return queries_refused_.load(); }
 
  private:
   struct Conn {
@@ -77,9 +91,17 @@ class AdrServer {
   void accept_loop();
   void serve_connection(Conn* conn);
   void reap_finished_locked();  // joins done threads; caller holds conn_mutex_
+  /// Sends a WireResult{ok=false, "server busy"} frame, then closes the
+  /// fd gracefully (half-close + bounded drain, so the frame survives
+  /// a client that is still writing its query).
+  static void refuse_with_busy_frame(int fd);
 
   Repository* repository_;
   ComputeCosts costs_;
+  /// Routes every query; bounded by scheduler slots, shared by all
+  /// connections.
+  QuerySubmissionService scheduler_;
+  const int scheduler_workers_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   const int max_connections_;
@@ -87,6 +109,8 @@ class AdrServer {
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> served_{0};
   std::atomic<std::uint64_t> refused_{0};
+  std::atomic<std::uint64_t> queries_refused_{0};
+  std::atomic<std::uint64_t> next_client_id_{1};
 
   mutable std::mutex conn_mutex_;
   std::list<std::unique_ptr<Conn>> conns_;

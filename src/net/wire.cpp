@@ -7,7 +7,8 @@ namespace {
 
 constexpr std::uint8_t kQueryTag = 0x51;   // 'Q'
 constexpr std::uint8_t kResultTag = 0x52;  // 'R'
-constexpr std::uint8_t kVersion = 1;
+// v2: result frames carry chunk-cache hit/miss counters.
+constexpr std::uint8_t kVersion = 2;
 
 }  // namespace
 
@@ -157,6 +158,8 @@ WireResult to_wire_result(const QueryResult& result) {
   w.chunk_reads = result.chunk_reads;
   w.total_s = result.stats.total_s;
   w.bytes_communicated = result.stats.total_bytes_sent();
+  w.cache_hits = result.cache_hits;
+  w.cache_misses = result.cache_misses;
   w.outputs = result.outputs;
   return w;
 }
@@ -173,6 +176,8 @@ std::vector<std::byte> encode_result(const WireResult& result) {
   w.u64(result.chunk_reads);
   w.f64(result.total_s);
   w.u64(result.bytes_communicated);
+  w.u64(result.cache_hits);
+  w.u64(result.cache_misses);
   w.u32(static_cast<std::uint32_t>(result.outputs.size()));
   for (const Chunk& chunk : result.outputs) {
     w.u32(chunk.meta().id.dataset);
@@ -197,6 +202,8 @@ WireResult decode_result(std::span<const std::byte> payload) {
   out.chunk_reads = r.u64();
   out.total_s = r.f64();
   out.bytes_communicated = r.u64();
+  out.cache_hits = r.u64();
+  out.cache_misses = r.u64();
   const std::uint32_t n = r.u32();
   for (std::uint32_t i = 0; i < n; ++i) {
     ChunkMeta meta;

@@ -28,6 +28,12 @@ class WireError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Error string of a protocol-level refusal: the server is saturated
+/// (connection cap or scheduler queue full) and declined the work with
+/// an orderly result frame instead of a bare close, so clients can tell
+/// refusal from crash.
+inline constexpr const char* kServerBusyError = "server busy";
+
 /// The client-facing view of a query result.
 struct WireResult {
   bool ok = true;
@@ -39,7 +45,15 @@ struct WireResult {
   std::uint64_t chunk_reads = 0;
   double total_s = 0.0;
   std::uint64_t bytes_communicated = 0;
+  /// Server-side chunk-cache traffic for this query (v2 protocol).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
   std::vector<Chunk> outputs;
+
+  /// True when the server refused the query because it is saturated;
+  /// retry later (possibly on a new connection — the server closes the
+  /// refused connection after this frame).
+  bool server_busy() const { return !ok && error == kServerBusyError; }
 };
 
 /// Builds the client view from a repository result.

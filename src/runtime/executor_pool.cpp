@@ -1,0 +1,63 @@
+#include "runtime/executor_pool.hpp"
+
+#include <stdexcept>
+
+namespace adr {
+
+ThreadExecutorPool::ThreadExecutorPool(int num_nodes, int disks_per_node,
+                                       ChunkStore* store, std::size_t max_resident)
+    : num_nodes_(num_nodes),
+      disks_per_node_(disks_per_node),
+      store_(store),
+      max_resident_(max_resident) {
+  if (num_nodes_ < 1 || disks_per_node_ < 1) {
+    throw std::invalid_argument("ThreadExecutorPool: bad machine shape");
+  }
+  if (max_resident_ < 1) {
+    throw std::invalid_argument("ThreadExecutorPool: max_resident must be >= 1");
+  }
+}
+
+ThreadExecutorPool::Lease ThreadExecutorPool::acquire() {
+  std::unique_ptr<ThreadExecutor> executor;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++leases_;
+    if (!idle_.empty()) {
+      executor = std::move(idle_.back());
+      idle_.pop_back();
+      ++reuses_;
+    } else {
+      ++created_;
+    }
+  }
+  // Construction (thread spawn) happens outside the pool lock.
+  if (executor == nullptr) {
+    executor = std::make_unique<ThreadExecutor>(num_nodes_, disks_per_node_, store_);
+  }
+  return Lease(this, std::move(executor));
+}
+
+void ThreadExecutorPool::release(std::unique_ptr<ThreadExecutor> executor) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (idle_.size() < max_resident_) {
+      idle_.push_back(std::move(executor));
+      return;
+    }
+  }
+  // Over the resident cap: destroy (joins node threads) outside the lock.
+  executor.reset();
+}
+
+ThreadExecutorPool::Stats ThreadExecutorPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.created = created_;
+  s.leases = leases_;
+  s.reuses = reuses_;
+  s.resident = idle_.size();
+  return s;
+}
+
+}  // namespace adr

@@ -150,12 +150,24 @@ void ThreadExecutor::finish(int node) {
 }
 
 double ThreadExecutor::run(std::function<void(int)> entry) {
+  // Reset per-run state so one pool of node threads serves many runs.
+  // A correctly finished run leaves the waiter lists empty (every
+  // barrier releases, every window waiter fires before finish); the
+  // clears keep a stale entry from a buggy engine from leaking into the
+  // next query.
   {
     std::lock_guard<std::mutex> lock(done_mutex_);
     finished_ = 0;
   }
   {
+    std::lock_guard<std::mutex> lock(barrier_mutex_);
+    assert(barrier_waiters_.empty());
+    barrier_waiters_.clear();
+  }
+  {
     std::lock_guard<std::mutex> lock(window_mutex_);
+    assert(window_waiters_.empty());
+    window_waiters_.clear();
     epoch_completed_.clear();
   }
   const auto start = std::chrono::steady_clock::now();
@@ -165,9 +177,15 @@ double ThreadExecutor::run(std::function<void(int)> entry) {
   {
     std::unique_lock<std::mutex> lock(done_mutex_);
     done_cv_.wait(lock, [this]() { return finished_ == num_nodes(); });
+    ++completed_runs_;
   }
   const auto end = std::chrono::steady_clock::now();
   return std::chrono::duration<double>(end - start).count();
+}
+
+std::uint64_t ThreadExecutor::completed_runs() const {
+  std::lock_guard<std::mutex> lock(done_mutex_);
+  return completed_runs_;
 }
 
 double ThreadExecutor::now_seconds() const {

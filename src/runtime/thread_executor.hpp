@@ -6,6 +6,18 @@
 // is preserved even though everything lives in one process.  Used to
 // validate the engine and strategies with real payloads and real
 // aggregation arithmetic.
+//
+// Lifecycle: the node threads are spawned once in the constructor and
+// live until destruction.  run() may be called repeatedly on the same
+// pool — per-run state (finish count, barrier waiters, sliding-window
+// epochs, message handler) is reset at the start of each run, so a warm
+// executor serves query after query without respawning threads (see
+// runtime/executor_pool.hpp for the cross-submit pool).  Runs must not
+// overlap: one run() at a time per executor — two queries interleaving
+// one pool's barriers would deadlock.  Calls to set_message_handler()
+// and run() are sequenced on the leasing thread; the completed-run
+// handshake (done_mutex_) orders them against the previous run's node
+// tasks.
 #pragma once
 
 #include <atomic>
@@ -48,6 +60,10 @@ class ThreadExecutor : public Executor {
 
   int node_of_disk(int global_disk) const { return global_disk / disks_per_node_; }
 
+  /// Completed run() calls on this pool of threads (executor-reuse
+  /// observability: threads are spawned once, runs accumulate).
+  std::uint64_t completed_runs() const;
+
  private:
   struct Worker {
     std::thread thread;
@@ -77,9 +93,10 @@ class ThreadExecutor : public Executor {
   std::vector<int> epoch_completed_;
   std::vector<WindowWaiter> window_waiters_;
 
-  std::mutex done_mutex_;
+  mutable std::mutex done_mutex_;
   std::condition_variable done_cv_;
   int finished_ = 0;
+  std::uint64_t completed_runs_ = 0;
 
   std::chrono::steady_clock::time_point epoch_;
 };

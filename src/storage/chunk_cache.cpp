@@ -1,0 +1,125 @@
+#include "storage/chunk_cache.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace adr {
+
+CachingChunkStore::CachingChunkStore(ChunkStore& backing, std::uint64_t bytes_per_disk)
+    : backing_(&backing), bytes_per_disk_(bytes_per_disk) {
+  if (backing_->num_disks() < 1) {
+    throw std::invalid_argument("CachingChunkStore: backing store has no disks");
+  }
+  shards_.reserve(static_cast<std::size_t>(backing_->num_disks()));
+  for (int d = 0; d < backing_->num_disks(); ++d) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+void CachingChunkStore::remove_locked(Shard& shard, ChunkId id) const {
+  auto it = shard.entries.find(id);
+  if (it == shard.entries.end()) return;
+  shard.bytes -= it->second.charged_bytes;
+  shard.lru.erase(it->second.lru_pos);
+  shard.entries.erase(it);
+}
+
+void CachingChunkStore::install_locked(Shard& shard, const Chunk& chunk) const {
+  const std::uint64_t cost = charge(chunk);
+  remove_locked(shard, chunk.meta().id);  // refresh: drop any stale copy
+  if (cost > bytes_per_disk_) return;     // larger than the whole budget
+  while (shard.bytes + cost > bytes_per_disk_) {
+    assert(!shard.lru.empty());
+    remove_locked(shard, shard.lru.back());
+    ++shard.evictions;
+  }
+  shard.lru.push_front(chunk.meta().id);
+  Entry entry{chunk, shard.lru.begin(), cost};
+  shard.bytes += cost;
+  shard.entries.emplace(chunk.meta().id, std::move(entry));
+  ++shard.insertions;
+}
+
+void CachingChunkStore::put(Chunk chunk) {
+  const int disk = chunk.meta().disk;
+  if (disk < 0 || disk >= num_disks()) {
+    // Let the backing store produce its usual error for bad placements.
+    backing_->put(std::move(chunk));
+    return;
+  }
+  Shard& shard = shard_of(disk);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  backing_->put(chunk);  // write-through first: backing is ground truth
+  auto it = shard.entries.find(chunk.meta().id);
+  if (it != shard.entries.end()) {
+    // Coherence on overwrite of a cached id: refresh in place.
+    ++shard.invalidations;
+    install_locked(shard, chunk);
+  }
+}
+
+std::optional<Chunk> CachingChunkStore::get(int disk, ChunkId id) const {
+  if (disk < 0 || disk >= num_disks()) return backing_->get(disk, id);
+  Shard& shard = shard_of(disk);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(id);
+  if (it != shard.entries.end()) {
+    ++shard.hits;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+    return it->second.chunk;
+  }
+  ++shard.misses;
+  std::optional<Chunk> chunk = backing_->get(disk, id);
+  if (chunk.has_value()) install_locked(shard, *chunk);
+  return chunk;
+}
+
+bool CachingChunkStore::contains(int disk, ChunkId id) const {
+  return backing_->contains(disk, id);
+}
+
+bool CachingChunkStore::erase(int disk, ChunkId id) {
+  if (disk < 0 || disk >= num_disks()) return backing_->erase(disk, id);
+  Shard& shard = shard_of(disk);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(id);
+  if (it != shard.entries.end()) {
+    ++shard.invalidations;
+    remove_locked(shard, id);
+  }
+  return backing_->erase(disk, id);
+}
+
+std::size_t CachingChunkStore::chunk_count(int disk) const {
+  return backing_->chunk_count(disk);
+}
+
+std::uint64_t CachingChunkStore::bytes_on_disk(int disk) const {
+  return backing_->bytes_on_disk(disk);
+}
+
+ChunkCacheStats CachingChunkStore::stats() const {
+  ChunkCacheStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total.hits += shard->hits;
+    total.misses += shard->misses;
+    total.evictions += shard->evictions;
+    total.insertions += shard->insertions;
+    total.invalidations += shard->invalidations;
+    total.resident_bytes += shard->bytes;
+    total.resident_chunks += shard->entries.size();
+  }
+  return total;
+}
+
+void CachingChunkStore::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->lru.clear();
+    shard->entries.clear();
+    shard->bytes = 0;
+  }
+}
+
+}  // namespace adr

@@ -401,14 +401,65 @@ TEST(ConcurrentServer, ConnectionLimitRefusesExtraClient) {
   ASSERT_TRUE(a.submit(variant_query(fx.in, fx.out, 0)).ok);
   ASSERT_TRUE(b.submit(variant_query(fx.in, fx.out, 1)).ok);
 
-  // The third connection is accepted then immediately closed; its first
-  // submit sees the orderly close instead of a result.
+  // The third connection gets a protocol-level refusal: a
+  // WireResult{ok=false, "server busy"} frame, then an orderly close.
   net::AdrClient c(fx.server.port());
-  EXPECT_THROW(c.submit(variant_query(fx.in, fx.out, 2)), std::runtime_error);
+  const net::WireResult refusal = c.submit(variant_query(fx.in, fx.out, 2));
+  EXPECT_FALSE(refusal.ok);
+  EXPECT_TRUE(refusal.server_busy()) << refusal.error;
+  EXPECT_FALSE(c.connected());  // client surfaces the server-side close
   EXPECT_GE(fx.server.connections_refused(), 1u);
 
   // Existing clients are unaffected.
   EXPECT_TRUE(a.submit(variant_query(fx.in, fx.out, 2)).ok);
+}
+
+TEST(ConcurrentServer, SchedulerQueueFullRefusesQueryWithBusyFrame) {
+  // One worker, one pending slot: a gated query occupies the only slot,
+  // so a second client's submit is refused at the protocol level while
+  // the connection cap is nowhere near reached.
+  Repository repo(thread_config(2));
+  const auto in = repo.create_dataset("in", Rect::cube(2, 0.0, 1.0), grid_inputs(4, 2));
+  const auto out = repo.create_dataset("out", Rect::cube(2, 0.0, 1.0), grid_outputs(2));
+  auto gate = std::make_shared<Gate>();
+  repo.aggregations().register_op(std::make_shared<GatedCountOp>(gate));
+  net::AdrServer server(repo, /*port=*/0, {}, /*max_connections=*/8,
+                        /*scheduler_workers=*/1, /*max_pending=*/1);
+  server.start();
+
+  net::AdrClient holder(server.port());
+  Query gated = variant_query(in, out, 3);
+  gated.aggregation = "gated-count";
+  std::thread held([&]() { holder.submit(gated); });
+
+  // Wait until the gated query is actually in flight (occupying the slot).
+  net::WireResult refusal;
+  bool refused = false;
+  for (int attempt = 0; attempt < 100 && !refused; ++attempt) {
+    net::AdrClient probe(server.port());
+    refusal = probe.submit(variant_query(in, out, 0));
+    if (!refusal.ok && refusal.server_busy()) {
+      refused = true;
+      EXPECT_FALSE(probe.connected());
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  EXPECT_TRUE(refused);
+  EXPECT_GE(server.queries_refused(), 1u);
+
+  gate->release();
+  held.join();
+  server.stop();
+  // At least the gated query; probes racing ahead of it may add more.
+  EXPECT_GE(server.queries_served(), 1u);
+
+  // After the slot frees, new clients are served normally again.
+  net::AdrServer server2(repo, /*port=*/0, {}, 8, 1, 1);
+  server2.start();
+  net::AdrClient ok_client(server2.port());
+  EXPECT_TRUE(ok_client.submit(variant_query(in, out, 0)).ok);
+  server2.stop();
 }
 
 TEST(ConcurrentServer, SlotFreedAfterClientDisconnects) {
