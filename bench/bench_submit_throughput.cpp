@@ -7,7 +7,14 @@
 // threads, reads every chunk from its disk file).  Warm = the average of
 // the following --iters identical submits (warm executor, hot cache).
 //
-// flags: --iters=<n> (default 20)  --out=<path>  --nodes=<n>  --help
+// Also reports per-config warm-submit p50/p99 latency (through an
+// obs::Histogram, the same quantile math the stats endpoint serves) and
+// writes a Chrome trace_event file (--trace-out, default
+// BENCH_submit_trace.json) from a traced scheduler section — open it in
+// Perfetto (ui.perfetto.dev) to see queued/planned/execute/phase spans.
+//
+// flags: --iters=<n> (default 20)  --out=<path>  --trace-out=<path>
+//        --nodes=<n>  --help
 #include <unistd.h>
 
 #include <chrono>
@@ -22,6 +29,8 @@
 
 #include "common/table.hpp"
 #include "core/frontend.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -38,6 +47,7 @@ struct Args {
   int iters = 20;
   int nodes = 4;
   std::string out_path = "BENCH_submit_throughput.json";
+  std::string trace_path = "BENCH_submit_trace.json";
 };
 
 Args parse(int argc, char** argv) {
@@ -54,8 +64,11 @@ Args parse(int argc, char** argv) {
       args.nodes = std::stoi(v);
     } else if (const char* v = value("--out=")) {
       args.out_path = v;
+    } else if (const char* v = value("--trace-out=")) {
+      args.trace_path = v;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "flags: --iters=<n> --nodes=<n> --out=<path>\n";
+      std::cout << "flags: --iters=<n> --nodes=<n> --out=<path> "
+                   "--trace-out=<path>\n";
       std::exit(0);
     }
   }
@@ -115,6 +128,8 @@ struct ConfigResult {
   bool cache = false;
   double cold_qps = 0.0;
   double warm_qps = 0.0;
+  double warm_p50_ms = 0.0;
+  double warm_p99_ms = 0.0;
   std::uint64_t warm_cache_hits = 0;
   std::uint64_t executors_created = 0;
 };
@@ -158,10 +173,16 @@ ConfigResult run_config(const Args& args, bool reuse_executor, bool cache,
     std::exit(1);
   }
 
+  // Per-iteration latencies through the same histogram/quantile machinery
+  // the stats endpoint serves (per-config local instance: the process
+  // registry is cumulative across configs).
+  adr::obs::Histogram warm_lat(adr::obs::default_latency_buckets());
   t0 = std::chrono::steady_clock::now();
   std::uint64_t hits = 0;
   for (int i = 0; i < args.iters; ++i) {
+    const auto it0 = std::chrono::steady_clock::now();
     const QueryResult warm = repo.submit(query);
+    warm_lat.observe(seconds_since(it0));
     hits += warm.cache_hits;
     if (warm.outputs.size() != cold.outputs.size() ||
         warm.outputs[0].payload() != cold.outputs[0].payload()) {
@@ -170,9 +191,54 @@ ConfigResult run_config(const Args& args, bool reuse_executor, bool cache,
     }
   }
   r.warm_qps = args.iters / seconds_since(t0);
+  const adr::obs::HistogramSnapshot lat_snap = warm_lat.snapshot();
+  r.warm_p50_ms = lat_snap.p50() * 1000.0;
+  r.warm_p99_ms = lat_snap.p99() * 1000.0;
   r.warm_cache_hits = hits;
   r.executors_created = repo.executor_pool_stats().created;
   return r;
+}
+
+// Runs a few queries through the scheduler with tracing on and writes
+// the lifecycle spans as a Chrome trace (the CI Perfetto artifact).
+void write_trace_sample(const Args& args, const std::filesystem::path& dir) {
+  RepositoryConfig cfg;
+  cfg.backend = RepositoryConfig::Backend::kThreads;
+  cfg.num_nodes = args.nodes;
+  cfg.memory_per_node = 4ull << 20;
+  cfg.storage_dir = dir;
+  cfg.reuse_executor = true;
+  cfg.chunk_cache_bytes_per_node = 64ull << 20;
+  Repository repo(cfg);
+  const auto in = repo.create_dataset("in", Rect::cube(2, 0.0, 1.0), make_inputs());
+  const auto out = repo.create_dataset("out", Rect::cube(2, 0.0, 1.0), make_outputs());
+
+  Query query;
+  query.input_dataset = in;
+  query.output_dataset = out;
+  query.range = Rect(Point{0.0, 0.0}, Point{0.999, 0.999});
+  query.aggregation = "sum-count-max";
+  query.delivery = adr::OutputDelivery::kReturnToClient;
+
+  adr::obs::tracer().enable();
+  {
+    adr::QuerySubmissionService svc(repo);
+    svc.start(2);
+    std::vector<std::uint64_t> tickets;
+    for (int i = 0; i < 6; ++i) tickets.push_back(svc.enqueue(query));
+    for (const std::uint64_t t : tickets) {
+      if (!svc.take(t).ok) {
+        std::cerr << "bench: traced query failed\n";
+        std::exit(1);
+      }
+    }
+    svc.stop();
+  }
+  std::ofstream trace(args.trace_path);
+  adr::obs::tracer().write_chrome_json(trace);
+  adr::obs::tracer().disable();
+  std::cout << "wrote " << args.trace_path
+            << " (open in https://ui.perfetto.dev)\n";
 }
 
 }  // namespace
@@ -193,13 +259,19 @@ int main(int argc, char** argv) {
       results.push_back(run_config(args, reuse, cache, dir));
     }
   }
+  {
+    const auto dir = base / "trace";
+    std::filesystem::create_directories(dir);
+    write_trace_sample(args, dir);
+  }
   std::filesystem::remove_all(base);
 
-  adr::Table table({"config", "cold qps", "warm qps", "warm/cold", "cache hits",
-                    "executors built"});
+  adr::Table table({"config", "cold qps", "warm qps", "warm/cold", "p50 ms",
+                    "p99 ms", "cache hits", "executors built"});
   for (const auto& r : results) {
     table.add_row({r.name, adr::fmt(r.cold_qps, 2), adr::fmt(r.warm_qps, 2),
                    adr::fmt(r.warm_qps / r.cold_qps, 2),
+                   adr::fmt(r.warm_p50_ms, 2), adr::fmt(r.warm_p99_ms, 2),
                    std::to_string(r.warm_cache_hits),
                    std::to_string(r.executors_created)});
   }
@@ -221,6 +293,8 @@ int main(int argc, char** argv) {
          << ", \"cache\": " << (r.cache ? "true" : "false")
          << ", \"cold_qps\": " << r.cold_qps << ", \"warm_qps\": " << r.warm_qps
          << ", \"warm_over_cold\": " << r.warm_qps / r.cold_qps
+         << ", \"warm_p50_ms\": " << r.warm_p50_ms
+         << ", \"warm_p99_ms\": " << r.warm_p99_ms
          << ", \"warm_cache_hits\": " << r.warm_cache_hits
          << ", \"executors_created\": " << r.executors_created << "}"
          << (i + 1 < results.size() ? "," : "") << "\n";

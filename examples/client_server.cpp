@@ -17,6 +17,7 @@
 #include "adr.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -68,6 +69,10 @@ int main() {
   const Rect domain = Rect::cube(2, 0.0, 1.0);
   const auto sensors = repo.create_dataset("sensors", domain, sensor_chunks());
   const auto summary = repo.create_dataset("summary", domain, summary_chunks());
+
+  // Trace the whole session: every query's lifecycle spans land in the
+  // ring the stats endpoint exports.
+  obs::tracer().enable();
 
   net::AdrServer server(repo, /*port=*/0);
   server.start();
@@ -140,6 +145,25 @@ int main() {
             << failures.load() << " failures\n";
 
   std::cout << "\nserver handled " << server.queries_served() << " queries\n";
+
+  // ---- observability endpoint (wire v3) ----
+  // The same socket the queries rode serves the metrics snapshot and,
+  // because tracing is on, the Chrome trace (Perfetto-loadable).  The
+  // adr_stats CLI does exactly this against any live server.
+  const net::WireStatsReply stats = client.stats(/*include_trace=*/true);
+  std::cout << "\nstats endpoint: " << stats.metrics_json.size()
+            << "-byte metrics snapshot, " << stats.trace_json.size()
+            << "-byte Chrome trace\n";
+  // A taste of the snapshot without a JSON parser: a couple of series.
+  for (const char* needle :
+       {"\"server.queries_served\":", "\"chunk_cache.hits\":"}) {
+    const auto pos = stats.metrics_json.find(needle);
+    if (pos != std::string::npos) {
+      std::cout << "  " << stats.metrics_json.substr(
+                       pos, stats.metrics_json.find_first_of(",}", pos) - pos)
+                << "\n";
+    }
+  }
   server.stop();
   return 0;
 }

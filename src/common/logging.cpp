@@ -20,6 +20,7 @@ LogLevel initial_level() {
 
 std::atomic<int> g_level{static_cast<int>(initial_level())};
 std::mutex g_mutex;
+std::ostream* g_sink = nullptr;  // guarded by g_mutex; nullptr = stderr
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -36,14 +37,39 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+// Relaxed is enough: the level is a standalone filter knob, not a
+// publication of other data.
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+std::ostream* set_log_sink(std::ostream* sink) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::ostream* prev = g_sink;
+  g_sink = sink;
+  return prev;
+}
 
 namespace detail {
 void log_line(LogLevel level, const std::string& msg) {
+  // Compose the complete line before touching the stream: one write()
+  // call per line means concurrent loggers (and other writers sharing
+  // the stream) can interleave only at line granularity.
+  std::string line;
+  line.reserve(msg.size() + 16);
+  line += "[adr:";
+  line += level_name(level);
+  line += "] ";
+  line += msg;
+  line += '\n';
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::cerr << "[adr:" << level_name(level) << "] " << msg << '\n';
+  std::ostream& out = g_sink != nullptr ? *g_sink : std::cerr;
+  out.write(line.data(), static_cast<std::streamsize>(line.size()));
+  out.flush();
 }
 }  // namespace detail
 

@@ -3,8 +3,15 @@
 // The library is silent by default (benches and tests own stdout); set
 // ADR_LOG=debug|info|warn in the environment, or call set_log_level, to see
 // planner and executor traces.
+//
+// Thread safety: set_log_level / log_level are an atomic pair, safe to
+// call from any thread at any time (connection threads log while tests
+// flip the level).  log_line composes the full line first and emits it
+// with one write under a mutex, so concurrent lines never interleave
+// mid-line — even when another writer shares the sink stream.
 #pragma once
 
+#include <iosfwd>
 #include <sstream>
 #include <string>
 
@@ -14,6 +21,11 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kOff = 3 };
 
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Redirects log output (default: stderr).  Pass nullptr to restore
+/// stderr; returns the previous sink.  Test hook — the caller keeps the
+/// stream alive until the sink is reset.
+std::ostream* set_log_sink(std::ostream* sink);
 
 namespace detail {
 void log_line(LogLevel level, const std::string& msg);

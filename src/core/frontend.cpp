@@ -1,17 +1,75 @@
 #include "core/frontend.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
+#include <chrono>
 #include <mutex>
 #include <stdexcept>
 
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/sim_executor.hpp"
 #include "runtime/thread_executor.hpp"
 #include "storage/catalog.hpp"
 #include "storage/loader.hpp"
 
 namespace adr {
+namespace {
+
+// Cumulative process-wide series (metric catalog: docs/observability.md).
+// References are resolved once; recording is relaxed-atomic only.
+
+struct SubmitMetrics {
+  obs::Counter& count;
+  obs::Counter& errors;
+  obs::Histogram& latency;
+  obs::Histogram& plan;
+  /// End-to-end latency split by the strategy the planner chose
+  /// (indexed by StrategyKind kFRA..kHybrid).
+  std::array<obs::Histogram*, 4> by_strategy;
+};
+
+SubmitMetrics& submit_metrics() {
+  static SubmitMetrics m{obs::metrics().counter("submit.count"),
+                         obs::metrics().counter("submit.errors"),
+                         obs::metrics().histogram("submit.latency_s"),
+                         obs::metrics().histogram("submit.plan_s"),
+                         {&obs::metrics().histogram("submit.latency_s.fra"),
+                          &obs::metrics().histogram("submit.latency_s.sra"),
+                          &obs::metrics().histogram("submit.latency_s.da"),
+                          &obs::metrics().histogram("submit.latency_s.hybrid")}};
+  return m;
+}
+
+struct SchedulerMetrics {
+  obs::Counter& enqueued;
+  obs::Counter& rejected;
+  obs::Counter& completed;
+  obs::Counter& failed;
+  obs::Gauge& queue_depth;
+  obs::Gauge& in_flight;
+  obs::Histogram& queue_wait;
+};
+
+SchedulerMetrics& scheduler_metrics() {
+  static SchedulerMetrics m{obs::metrics().counter("scheduler.enqueued"),
+                            obs::metrics().counter("scheduler.rejected"),
+                            obs::metrics().counter("scheduler.completed"),
+                            obs::metrics().counter("scheduler.failed"),
+                            obs::metrics().gauge("scheduler.queue_depth"),
+                            obs::metrics().gauge("scheduler.in_flight"),
+                            obs::metrics().histogram("scheduler.queue_wait_s")};
+  return m;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
 
 Repository::Repository(const RepositoryConfig& config) : config_(config) {
   if (config_.num_nodes < 1 || config_.disks_per_node < 1) {
@@ -97,10 +155,29 @@ std::size_t Repository::num_datasets() const {
 
 QueryResult Repository::submit(const Query& query, const ComputeCosts& costs,
                                const ExecOptions& exec_options) {
-  // Shared lock for the whole plan+execute: concurrent submits proceed in
-  // parallel while catalog mutations (create_dataset / load_catalog) wait.
-  std::shared_lock lock(catalog_mutex_);
-  return submit_locked(query, costs, exec_options);
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    QueryResult result;
+    {
+      // Shared lock for the whole plan+execute: concurrent submits proceed
+      // in parallel while catalog mutations (create_dataset / load_catalog)
+      // wait.
+      std::shared_lock lock(catalog_mutex_);
+      result = submit_locked(query, costs, exec_options);
+    }
+    const double elapsed_s = seconds_since(t0);
+    SubmitMetrics& m = submit_metrics();
+    m.count.add();
+    m.latency.observe(elapsed_s);
+    const int strategy = static_cast<int>(result.strategy);
+    if (strategy >= 0 && strategy < static_cast<int>(m.by_strategy.size())) {
+      m.by_strategy[static_cast<std::size_t>(strategy)]->observe(elapsed_s);
+    }
+    return result;
+  } catch (...) {
+    submit_metrics().errors.add();
+    throw;
+  }
 }
 
 QueryResult Repository::submit_locked(const Query& query, const ComputeCosts& costs,
@@ -153,7 +230,18 @@ QueryResult Repository::submit_locked(const Query& query, const ComputeCosts& co
   request.machine.comm_cpu_bytes_per_s = config_.machine.link.cpu_overhead_bytes_per_sec;
   request.machine.disks_per_node = config_.disks_per_node;
 
+  obs::QueryTracer& tr = obs::tracer();
+  const bool tracing = tr.enabled();
+  const std::uint64_t qid = obs::trace_query();
+
+  const auto plan_t0 = std::chrono::steady_clock::now();
+  const std::uint64_t plan_ts_us = tracing ? tr.now_us() : 0;
   PlannedQuery planned = plan_query(request);
+  submit_metrics().plan.observe(seconds_since(plan_t0));
+  if (tracing) {
+    tr.record({"planned", "serving", qid, plan_ts_us, tr.now_us() - plan_ts_us,
+               static_cast<std::uint32_t>(qid), -1});
+  }
 
   ExecOptions options = exec_options;
   if (config_.backend == RepositoryConfig::Backend::kSimulated &&
@@ -189,6 +277,8 @@ QueryResult Repository::submit_locked(const Query& query, const ComputeCosts& co
   result.chunk_reads = planned.plan.total_reads;
   result.estimates = planned.estimates;
 
+  const std::uint64_t exec_ts_us = tracing ? tr.now_us() : 0;
+
   if (config_.backend == RepositoryConfig::Backend::kSimulated) {
     sim::ClusterConfig machine = config_.machine;
     machine.num_nodes = config_.num_nodes;
@@ -223,6 +313,27 @@ QueryResult Repository::submit_locked(const Query& query, const ComputeCosts& co
     }
   }
 
+  if (tracing) {
+    tr.record({"execute", "serving", qid, exec_ts_us, tr.now_us() - exec_ts_us,
+               static_cast<std::uint32_t>(qid), -1});
+    // Re-base the engine's per-node phase timeline onto the tracer clock
+    // (thread backend only: the simulated backend's spans are in virtual
+    // seconds that do not line up with wall time).
+    if (config_.backend == RepositoryConfig::Backend::kThreads) {
+      for (const PhaseSpan& span : result.stats.trace) {
+        obs::TraceEvent e;
+        e.name = phase_name(span.phase);
+        e.cat = "phase";
+        e.query = qid;
+        e.ts_us = exec_ts_us + static_cast<std::uint64_t>(span.start_s * 1e6);
+        e.dur_us = static_cast<std::uint64_t>(span.duration_s() * 1e6);
+        e.tid = static_cast<std::uint32_t>(span.node);
+        e.tile = span.tile;
+        tr.record(e);
+      }
+    }
+  }
+
   if (!delivered.empty()) {
     std::sort(delivered.begin(), delivered.end(),
               [](const Chunk& a, const Chunk& b) { return a.meta().id < b.meta().id; });
@@ -238,6 +349,15 @@ std::vector<QueryResult> Repository::submit_all(const std::vector<Query>& querie
   results.reserve(queries.size());
   for (const Query& q : queries) results.push_back(submit(q, costs, exec_options));
   return results;
+}
+
+QuerySubmissionService::~QuerySubmissionService() {
+  stop();
+  // Queries accepted but never run (no pool started, no process_all)
+  // would otherwise leave the process-wide depth gauge inflated.
+  std::lock_guard lock(mutex_);
+  scheduler_metrics().queue_depth.add(-static_cast<std::int64_t>(queue_.size()));
+  queue_.clear();
 }
 
 void QuerySubmissionService::start(int n_workers) {
@@ -273,7 +393,11 @@ std::uint64_t QuerySubmissionService::enqueue(Query query, ComputeCosts costs,
     });
   }
   const std::uint64_t ticket = next_ticket_++;
-  queue_.push_back(Pending{ticket, client_id, std::move(query), costs});
+  queue_.push_back(Pending{ticket, client_id, std::move(query), costs,
+                           std::chrono::steady_clock::now(),
+                           obs::tracer().now_us()});
+  scheduler_metrics().enqueued.add();
+  scheduler_metrics().queue_depth.add(1);
   work_cv_.notify_one();
   return ticket;
 }
@@ -281,9 +405,16 @@ std::uint64_t QuerySubmissionService::enqueue(Query query, ComputeCosts costs,
 std::uint64_t QuerySubmissionService::try_enqueue(Query query, ComputeCosts costs,
                                                   std::uint64_t client_id) {
   std::lock_guard lock(mutex_);
-  if (queue_.size() + in_flight_ >= max_pending_) return 0;
+  if (queue_.size() + in_flight_ >= max_pending_) {
+    scheduler_metrics().rejected.add();
+    return 0;
+  }
   const std::uint64_t ticket = next_ticket_++;
-  queue_.push_back(Pending{ticket, client_id, std::move(query), costs});
+  queue_.push_back(Pending{ticket, client_id, std::move(query), costs,
+                           std::chrono::steady_clock::now(),
+                           obs::tracer().now_us()});
+  scheduler_metrics().enqueued.add();
+  scheduler_metrics().queue_depth.add(1);
   work_cv_.notify_one();
   return ticket;
 }
@@ -317,22 +448,43 @@ bool QuerySubmissionService::pop_runnable(Pending& out) {
     queue_.erase(it);
     busy_clients_.insert(out.client);
     ++in_flight_;
+    scheduler_metrics().queue_depth.add(-1);
+    scheduler_metrics().in_flight.add(1);
     return true;
   }
   return false;
 }
 
 void QuerySubmissionService::run_one(Pending&& p) {
+  // Dispatch latency: how long the accepted query sat in the queue.
+  scheduler_metrics().queue_wait.observe(seconds_since(p.enqueued_at));
+  obs::QueryTracer& tr = obs::tracer();
+  const bool tracing = tr.enabled();
+  if (tracing) {
+    const std::uint64_t now = tr.now_us();
+    const std::uint64_t ts = std::min(p.enqueued_ts_us, now);
+    tr.record({"queued", "serving", p.ticket, ts, now - ts,
+               static_cast<std::uint32_t>(p.ticket), -1});
+  }
   QueryResult result;
   std::string error;
   bool ok = true;
+  // Spans recorded inside Repository::submit attach to this ticket.
+  obs::set_trace_query(p.ticket);
   try {
-    result = repository_->submit(p.query, p.costs);
+    ExecOptions exec_options;
+    // The per-tile phase timeline feeds the exported trace; recording it
+    // costs a couple of timestamps per phase, paid only while tracing.
+    exec_options.record_trace = tracing;
+    result = repository_->submit(p.query, p.costs, exec_options);
   } catch (const std::exception& e) {
     ok = false;
     error = e.what();
     ADR_WARN("submission service: ticket " << p.ticket << " failed: " << e.what());
   }
+  obs::set_trace_query(0);
+  scheduler_metrics().in_flight.add(-1);
+  (ok ? scheduler_metrics().completed : scheduler_metrics().failed).add();
   std::lock_guard lock(mutex_);
   if (ok) {
     results_.emplace(p.ticket, std::move(result));
@@ -377,6 +529,8 @@ std::size_t QuerySubmissionService::process_all() {
       queue_.pop_front();
       busy_clients_.insert(p.client);
       ++in_flight_;
+      scheduler_metrics().queue_depth.add(-1);
+      scheduler_metrics().in_flight.add(1);
     }
     run_one(std::move(p));
     ++ran;

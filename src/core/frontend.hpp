@@ -21,6 +21,7 @@
 //   adr::QueryResult r = repo.submit(q);
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -226,7 +227,7 @@ class QuerySubmissionService {
   explicit QuerySubmissionService(Repository& repository,
                                   std::size_t max_pending = 1024)
       : repository_(&repository), max_pending_(max_pending) {}
-  ~QuerySubmissionService() { stop(); }
+  ~QuerySubmissionService();
 
   QuerySubmissionService(const QuerySubmissionService&) = delete;
   QuerySubmissionService& operator=(const QuerySubmissionService&) = delete;
@@ -291,6 +292,10 @@ class QuerySubmissionService {
     std::uint64_t client;
     Query query;
     ComputeCosts costs;
+    /// Accept time, for the enqueue-to-dispatch wait histogram and the
+    /// "queued" trace span.
+    std::chrono::steady_clock::time_point enqueued_at{};
+    std::uint64_t enqueued_ts_us = 0;  // tracer clock; 0 when not tracing
   };
 
   void worker_loop();

@@ -50,4 +50,18 @@ WireResult AdrClient::submit(const Query& query) {
   return result;
 }
 
+WireStatsReply AdrClient::stats(bool include_trace) {
+  if (fd_ < 0) throw std::runtime_error("AdrClient: not connected");
+  WireStatsRequest req;
+  req.include_trace = include_trace;
+  if (!write_frame(fd_, encode_stats_request(req))) {
+    throw std::runtime_error("AdrClient: send failed");
+  }
+  std::vector<std::byte> payload;
+  if (!read_frame(fd_, payload)) {
+    throw std::runtime_error("AdrClient: connection closed before stats reply");
+  }
+  return decode_stats_reply(payload);
+}
+
 }  // namespace adr::net

@@ -26,8 +26,15 @@ class AdrClient {
   /// query failure comes back as WireResult{ok=false, error}.  A
   /// saturated server answers WireResult{ok=false, "server busy"}
   /// (check server_busy()) and closes the connection — connected()
-  /// turns false; reconnect and retry later.
+  /// turns false; reconnect and retry after result.retry_after_ms.
   WireResult submit(const Query& query);
+
+  /// Asks the live server for its observability snapshot (wire v3):
+  /// metrics_json is the obs registry rendered as JSON; trace_json is
+  /// the Chrome trace_event export when `include_trace` is set and the
+  /// server has tracing enabled (empty otherwise).  The connection
+  /// stays open — queries and stats requests interleave freely.
+  WireStatsReply stats(bool include_trace = false);
 
   bool connected() const { return fd_ >= 0; }
 

@@ -5,14 +5,40 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
 #include "common/logging.hpp"
 #include "net/socket_io.hpp"
 #include "net/wire.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace adr::net {
+namespace {
+
+// Cumulative process-wide series (metric catalog: docs/observability.md).
+struct ServerMetrics {
+  obs::Counter& connections_accepted;
+  obs::Counter& connections_refused;
+  obs::Counter& queries_served;
+  obs::Counter& queries_refused;
+  obs::Counter& stats_requests;
+  obs::Gauge& active_connections;
+};
+
+ServerMetrics& server_metrics() {
+  static ServerMetrics m{obs::metrics().counter("server.connections_accepted"),
+                         obs::metrics().counter("server.connections_refused"),
+                         obs::metrics().counter("server.queries_served"),
+                         obs::metrics().counter("server.queries_refused"),
+                         obs::metrics().counter("server.stats_requests"),
+                         obs::metrics().gauge("server.active_connections")};
+  return m;
+}
+
+}  // namespace
 
 AdrServer::AdrServer(Repository& repository, std::uint16_t port,
                      const ComputeCosts& costs, int max_connections,
@@ -138,6 +164,7 @@ void AdrServer::accept_loop() {
       // visible refusal signal, so the counter must already reflect it
       // by the time the client decodes it.
       ++refused_;
+      server_metrics().connections_refused.add();
       ADR_WARN("server: refused connection, " << live_fds_.size() << " active");
       refuse_with_busy_frame(fd);  // at capacity: protocol-level refusal
       continue;
@@ -146,16 +173,35 @@ void AdrServer::accept_loop() {
     conn->fd = fd;
     Conn* raw = conn.get();
     live_fds_.insert(fd);
+    server_metrics().connections_accepted.add();
+    server_metrics().active_connections.add(1);
     conns_.push_back(std::move(conn));
     ADR_DEBUG("server: accepted fd=" << fd << " live=" << live_fds_.size());
     raw->thread = std::thread([this, raw]() { serve_connection(raw); });
   }
 }
 
+std::uint32_t AdrServer::retry_after_hint_ms() const {
+  // First consumer of the live metrics: the refused client should come
+  // back roughly when the backlog it would sit behind has drained.
+  const std::int64_t depth =
+      obs::metrics().gauge("scheduler.queue_depth").value() +
+      obs::metrics().gauge("scheduler.in_flight").value();
+  double mean_s = obs::metrics().histogram("submit.latency_s").snapshot().mean();
+  if (mean_s <= 0.0) mean_s = 0.05;  // nothing measured yet: polite default
+  const double eta_s =
+      (static_cast<double>(std::max<std::int64_t>(depth, 0)) /
+           static_cast<double>(std::max(1, scheduler_workers_)) +
+       1.0) *
+      mean_s;
+  return static_cast<std::uint32_t>(std::clamp(eta_s * 1000.0, 25.0, 10000.0));
+}
+
 void AdrServer::refuse_with_busy_frame(int fd) {
   WireResult busy;
   busy.ok = false;
   busy.error = kServerBusyError;
+  busy.retry_after_ms = retry_after_hint_ms();
   write_frame(fd, encode_result(busy));
   // Graceful close: half-close our side, then drain whatever the client
   // was still sending so the kernel never answers it with an RST that
@@ -183,22 +229,44 @@ void AdrServer::serve_connection(Conn* conn) {
   for (;;) {
     std::vector<std::byte> payload;
     if (!read_frame(fd, payload)) break;
+    if (is_stats_request(payload)) {
+      // Stats endpoint: answer in-band and keep the connection open, so
+      // a monitoring client can poll the same socket it queries on.
+      WireStatsReply reply;
+      try {
+        const WireStatsRequest req = decode_stats_request(payload);
+        reply.metrics_json = obs::metrics().snapshot().to_json();
+        if (req.include_trace && obs::tracer().enabled()) {
+          reply.trace_json = obs::tracer().chrome_json();
+        }
+      } catch (const std::exception& e) {
+        ADR_WARN("server: stats request failed: " << e.what());
+        break;
+      }
+      server_metrics().stats_requests.add();
+      if (!write_frame(fd, encode_stats_reply(reply))) break;
+      continue;
+    }
     WireResult result;
+    std::uint64_t ticket = 0;
     try {
       const Query query = decode_query(payload);
-      const std::uint64_t ticket = scheduler_.try_enqueue(query, costs_, client_id);
+      ticket = scheduler_.try_enqueue(query, costs_, client_id);
       if (ticket == 0) {
         // Scheduler saturated: protocol-level refusal, then close.
         ++queries_refused_;
+        server_metrics().queries_refused.add();
         ADR_WARN("server: scheduler full, refusing query on fd=" << fd);
         result.ok = false;
         result.error = kServerBusyError;
+        result.retry_after_ms = retry_after_hint_ms();
         refused_busy = true;
       } else {
         QuerySubmissionService::Outcome outcome = scheduler_.take(ticket);
         if (outcome.ok) {
           result = to_wire_result(outcome.result);
           ++served_;
+          server_metrics().queries_served.add();
         } else {
           result.ok = false;
           result.error = outcome.error;
@@ -210,7 +278,21 @@ void AdrServer::serve_connection(Conn* conn) {
       result.error = e.what();
       ADR_WARN("server: query failed: " << e.what());
     }
-    if (!write_frame(fd, encode_result(result))) break;
+    const bool tracing = obs::tracer().enabled();
+    const std::uint64_t reply_ts = tracing ? obs::tracer().now_us() : 0;
+    const bool wrote = write_frame(fd, encode_result(result));
+    if (tracing && ticket != 0) {
+      // Last span of the query lifecycle: serializing + flushing the
+      // result frame back to the client.
+      obs::TraceEvent ev;
+      ev.name = "reply";
+      ev.query = ticket;
+      ev.ts_us = reply_ts;
+      ev.dur_us = obs::tracer().now_us() - reply_ts;
+      ev.tid = static_cast<std::uint32_t>(ticket);
+      obs::tracer().record(ev);
+    }
+    if (!wrote) break;
     if (refused_busy) break;
   }
   // Deregister before closing so stop() can never shutdown() a recycled
@@ -218,6 +300,7 @@ void AdrServer::serve_connection(Conn* conn) {
   {
     std::lock_guard lock(conn_mutex_);
     live_fds_.erase(fd);
+    server_metrics().active_connections.add(-1);
     ADR_DEBUG("server: connection fd=" << fd << " done, live=" << live_fds_.size());
   }
   ::close(fd);

@@ -16,8 +16,17 @@
 //
 // Back-pressure is protocol-level: past `max_connections`, or when the
 // scheduler's pending queue is full, the server replies with a
-// WireResult{ok=false, error="server busy"} frame and then closes, so
-// clients can distinguish refusal from crash.
+// WireResult{ok=false, error="server busy"} frame — carrying a
+// retry-after hint derived from the live queue-depth gauge and measured
+// submit latency — and then closes, so clients can distinguish refusal
+// from crash and know when retrying is worth it.
+//
+// Observability: every connection and query updates the process-wide
+// obs::metrics() registry (server.* series; catalog in
+// docs/observability.md), and a stats-request frame (wire protocol v3)
+// on any connection answers with the registry snapshot as JSON plus,
+// optionally, the query-lifecycle trace — see AdrClient::stats() and
+// the adr_stats CLI tool.
 //
 // fd ownership: each connection's fd is closed only by its connection
 // thread.  stop() never closes a connection fd from outside; it
@@ -94,7 +103,11 @@ class AdrServer {
   /// Sends a WireResult{ok=false, "server busy"} frame, then closes the
   /// fd gracefully (half-close + bounded drain, so the frame survives
   /// a client that is still writing its query).
-  static void refuse_with_busy_frame(int fd);
+  void refuse_with_busy_frame(int fd);
+  /// Retry-after estimate for busy refusals: the queue the caller would
+  /// sit behind (live scheduler depth gauges) times the measured mean
+  /// submit latency, per worker.
+  std::uint32_t retry_after_hint_ms() const;
 
   Repository* repository_;
   ComputeCosts costs_;

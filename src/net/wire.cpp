@@ -5,10 +5,23 @@
 namespace adr::net {
 namespace {
 
-constexpr std::uint8_t kQueryTag = 0x51;   // 'Q'
-constexpr std::uint8_t kResultTag = 0x52;  // 'R'
-// v2: result frames carry chunk-cache hit/miss counters.
-constexpr std::uint8_t kVersion = 2;
+constexpr std::uint8_t kQueryTag = 0x51;        // 'Q'
+constexpr std::uint8_t kResultTag = 0x52;       // 'R'
+constexpr std::uint8_t kStatsRequestTag = 0x53; // 'S'
+constexpr std::uint8_t kStatsReplyTag = 0x54;   // 'T'
+// v3: result frames carry a retry-after hint; stats frames exist.
+constexpr std::uint8_t kVersion = 3;
+// Query/result bodies are unchanged since v2 except for appended
+// fields, so v2 frames still decode (see the version map in wire.hpp).
+constexpr std::uint8_t kMinVersion = 2;
+
+std::uint8_t check_version(Reader& r) {
+  const std::uint8_t version = r.u8();
+  if (version < kMinVersion || version > kVersion) {
+    throw WireError("wire: unsupported protocol version");
+  }
+  return version;
+}
 
 }  // namespace
 
@@ -131,7 +144,7 @@ std::vector<std::byte> encode_query(const Query& query) {
 Query decode_query(std::span<const std::byte> payload) {
   Reader r(payload);
   if (r.u8() != kQueryTag) throw WireError("wire: not a query frame");
-  if (r.u8() != kVersion) throw WireError("wire: unsupported protocol version");
+  check_version(r);
   Query q;
   q.input_dataset = r.u32();
   const std::uint32_t extras = r.u32();
@@ -178,6 +191,7 @@ std::vector<std::byte> encode_result(const WireResult& result) {
   w.u64(result.bytes_communicated);
   w.u64(result.cache_hits);
   w.u64(result.cache_misses);
+  w.u32(result.retry_after_ms);  // v3
   w.u32(static_cast<std::uint32_t>(result.outputs.size()));
   for (const Chunk& chunk : result.outputs) {
     w.u32(chunk.meta().id.dataset);
@@ -192,7 +206,7 @@ std::vector<std::byte> encode_result(const WireResult& result) {
 WireResult decode_result(std::span<const std::byte> payload) {
   Reader r(payload);
   if (r.u8() != kResultTag) throw WireError("wire: not a result frame");
-  if (r.u8() != kVersion) throw WireError("wire: unsupported protocol version");
+  const std::uint8_t version = check_version(r);
   WireResult out;
   out.ok = r.u8() != 0;
   out.error = r.str();
@@ -204,6 +218,7 @@ WireResult decode_result(std::span<const std::byte> payload) {
   out.bytes_communicated = r.u64();
   out.cache_hits = r.u64();
   out.cache_misses = r.u64();
+  if (version >= 3) out.retry_after_ms = r.u32();
   const std::uint32_t n = r.u32();
   for (std::uint32_t i = 0; i < n; ++i) {
     ChunkMeta meta;
@@ -215,6 +230,55 @@ WireResult decode_result(std::span<const std::byte> payload) {
   }
   if (!r.done()) throw WireError("wire: trailing bytes after result");
   return out;
+}
+
+bool is_stats_request(std::span<const std::byte> payload) {
+  return !payload.empty() &&
+         static_cast<std::uint8_t>(payload[0]) == kStatsRequestTag;
+}
+
+std::vector<std::byte> encode_stats_request(const WireStatsRequest& request) {
+  Writer w;
+  w.u8(kStatsRequestTag);
+  w.u8(kVersion);
+  w.u8(request.include_trace ? 1 : 0);
+  return w.take();
+}
+
+WireStatsRequest decode_stats_request(std::span<const std::byte> payload) {
+  Reader r(payload);
+  if (r.u8() != kStatsRequestTag) throw WireError("wire: not a stats request");
+  const std::uint8_t version = r.u8();
+  if (version < 3 || version > kVersion) {
+    throw WireError("wire: unsupported protocol version");
+  }
+  WireStatsRequest req;
+  req.include_trace = r.u8() != 0;
+  if (!r.done()) throw WireError("wire: trailing bytes after stats request");
+  return req;
+}
+
+std::vector<std::byte> encode_stats_reply(const WireStatsReply& reply) {
+  Writer w;
+  w.u8(kStatsReplyTag);
+  w.u8(kVersion);
+  w.str(reply.metrics_json);
+  w.str(reply.trace_json);
+  return w.take();
+}
+
+WireStatsReply decode_stats_reply(std::span<const std::byte> payload) {
+  Reader r(payload);
+  if (r.u8() != kStatsReplyTag) throw WireError("wire: not a stats reply");
+  const std::uint8_t version = r.u8();
+  if (version < 3 || version > kVersion) {
+    throw WireError("wire: unsupported protocol version");
+  }
+  WireStatsReply reply;
+  reply.metrics_json = r.str();
+  reply.trace_json = r.str();
+  if (!r.done()) throw WireError("wire: trailing bytes after stats reply");
+  return reply;
 }
 
 }  // namespace adr::net

@@ -7,7 +7,18 @@
 //
 // Frame layout on the socket (see server.hpp / client.hpp):
 //   u32 payload_length | payload
-// where payload is an encode_query() or encode_result() body.
+// where payload is an encode_query(), encode_result(),
+// encode_stats_request() or encode_stats_reply() body.
+//
+// Protocol versions:
+//   v1  query + result frames
+//   v2  result frames carry chunk-cache hit/miss counters
+//   v3  result frames carry a retry-after hint on "server busy"
+//       refusals, and the stats request/reply frames exist (a JSON
+//       metrics snapshot plus an optional Chrome trace export)
+// Encoders emit v3; query/result decoders also accept v2 frames (the
+// v3-only fields default to zero), so a v2 peer can still talk to this
+// build.  Stats frames are v3-only.
 #pragma once
 
 #include <cstddef>
@@ -48,11 +59,15 @@ struct WireResult {
   /// Server-side chunk-cache traffic for this query (v2 protocol).
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  /// On a "server busy" refusal: the server's estimate of when retrying
+  /// is worth it, derived from its live queue-depth gauge and measured
+  /// submit latency (v3 protocol; 0 = no hint).
+  std::uint32_t retry_after_ms = 0;
   std::vector<Chunk> outputs;
 
   /// True when the server refused the query because it is saturated;
-  /// retry later (possibly on a new connection — the server closes the
-  /// refused connection after this frame).
+  /// retry after retry_after_ms (possibly on a new connection — the
+  /// server closes the refused connection after this frame).
   bool server_busy() const { return !ok && error == kServerBusyError; }
 };
 
@@ -64,6 +79,29 @@ Query decode_query(std::span<const std::byte> payload);
 
 std::vector<std::byte> encode_result(const WireResult& result);
 WireResult decode_result(std::span<const std::byte> payload);
+
+/// Stats endpoint (v3): a client asks the live server for its metrics
+/// snapshot; the reply carries the obs registry rendered as JSON and,
+/// when requested and tracing is enabled server-side, the query-
+/// lifecycle ring exported as Chrome trace_event JSON.
+struct WireStatsRequest {
+  bool include_trace = false;
+};
+
+struct WireStatsReply {
+  std::string metrics_json;
+  std::string trace_json;  // empty unless requested and tracer enabled
+};
+
+/// True when `payload` starts like a stats-request frame (how the
+/// server dispatches without trial decoding).
+bool is_stats_request(std::span<const std::byte> payload);
+
+std::vector<std::byte> encode_stats_request(const WireStatsRequest& request);
+WireStatsRequest decode_stats_request(std::span<const std::byte> payload);
+
+std::vector<std::byte> encode_stats_reply(const WireStatsReply& reply);
+WireStatsReply decode_stats_reply(std::span<const std::byte> payload);
 
 // ---- primitive stream helpers (exposed for tests) ----
 

@@ -1,0 +1,22 @@
+// Minimal JSON emission helpers for the observability subsystem.
+//
+// The metrics snapshot and the Chrome trace export are both JSON on the
+// wire; this is the tiny writer they share.  Emission only — the repo
+// never parses JSON (clients and browsers do).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace adr::obs {
+
+/// Escapes `s` for use inside a JSON string literal (quotes not added).
+std::string json_escape(std::string_view s);
+
+/// Writes a double the way JSON wants it: finite values with enough
+/// precision to round-trip, NaN/inf as 0 (JSON has no spelling for them).
+void json_number(std::ostream& os, double v);
+
+}  // namespace adr::obs

@@ -1,0 +1,234 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace adr::obs {
+
+namespace detail {
+
+std::size_t shard_index() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t idx =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return idx;
+}
+
+void atomic_add_double(std::atomic<std::uint64_t>& bits, double d) noexcept {
+  std::uint64_t old = bits.load(std::memory_order_relaxed);
+  for (;;) {
+    double cur;
+    std::memcpy(&cur, &old, sizeof(cur));
+    const double next = cur + d;
+    std::uint64_t next_bits;
+    std::memcpy(&next_bits, &next, sizeof(next_bits));
+    if (bits.compare_exchange_weak(old, next_bits, std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+double atomic_load_double(const std::atomic<std::uint64_t>& bits) noexcept {
+  const std::uint64_t b = bits.load(std::memory_order_relaxed);
+  double v;
+  std::memcpy(&v, &b, sizeof(v));
+  return v;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------- Histogram
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: bounds must be non-empty");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument("Histogram: bounds must be strictly ascending");
+  }
+  const std::size_t buckets = bounds_.size() + 1;
+  for (Shard& s : shards_) {
+    s.counts = std::make_unique<std::atomic<std::uint64_t>[]>(buckets);
+    for (std::size_t i = 0; i < buckets; ++i) s.counts[i].store(0);
+  }
+}
+
+void Histogram::observe(double v) noexcept {
+  // First bucket whose upper bound >= v; past the last bound -> overflow.
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  Shard& s = shards_[detail::shard_index()];
+  s.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add_double(s.sum_bits, v);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.assign(bounds_.size() + 1, 0);
+  for (const Shard& s : shards_) {
+    for (std::size_t i = 0; i < snap.counts.size(); ++i) {
+      snap.counts[i] += s.counts[i].load(std::memory_order_relaxed);
+    }
+    snap.count += s.count.load(std::memory_order_relaxed);
+    snap.sum += detail::atomic_load_double(s.sum_bits);
+  }
+  // Shard reads are not atomic as a set; make the total consistent with
+  // the buckets we actually saw.
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t c : snap.counts) bucket_total += c;
+  snap.count = bucket_total;
+  return snap;
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double before = static_cast<double>(seen);
+    seen += counts[i];
+    if (static_cast<double>(seen) < rank) continue;
+    if (i == bounds.size()) return bounds.back();  // overflow bucket
+    const double lower = i == 0 ? std::min(0.0, bounds[0]) : bounds[i - 1];
+    const double upper = bounds[i];
+    const double frac =
+        std::clamp((rank - before) / static_cast<double>(counts[i]), 0.0, 1.0);
+    return lower + frac * (upper - lower);
+  }
+  return bounds.back();
+}
+
+std::vector<double> default_latency_buckets() {
+  return {1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2,
+          5e-2, 1e-1,   0.25, 0.5,  1.0,    2.5,  5.0,  10.0};
+}
+
+// ----------------------------------------------------------- Snapshot
+
+namespace {
+
+template <typename Vec>
+auto find_named(const Vec& vec, const std::string& name)
+    -> decltype(&vec.front().second) {
+  for (const auto& [n, v] : vec) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const std::uint64_t* MetricsSnapshot::counter(const std::string& name) const {
+  return find_named(counters, name);
+}
+
+const std::int64_t* MetricsSnapshot::gauge(const std::string& name) const {
+  return find_named(gauges, name);
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(const std::string& name) const {
+  return find_named(histograms, name);
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    if (i) os << ',';
+    os << '"' << json_escape(counters[i].first) << "\":" << counters[i].second;
+  }
+  os << "},\"gauges\":{";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    if (i) os << ',';
+    os << '"' << json_escape(gauges[i].first) << "\":" << gauges[i].second;
+  }
+  os << "},\"histograms\":{";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    if (i) os << ',';
+    const HistogramSnapshot& h = histograms[i].second;
+    os << '"' << json_escape(histograms[i].first) << "\":{"
+       << "\"count\":" << h.count << ",\"sum\":";
+    json_number(os, h.sum);
+    os << ",\"mean\":";
+    json_number(os, h.mean());
+    os << ",\"p50\":";
+    json_number(os, h.p50());
+    os << ",\"p95\":";
+    json_number(os, h.p95());
+    os << ",\"p99\":";
+    json_number(os, h.p99());
+    os << ",\"buckets\":[";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (b) os << ',';
+      os << "{\"le\":";
+      if (b < h.bounds.size()) {
+        json_number(os, h.bounds[b]);
+      } else {
+        os << "\"inf\"";
+      }
+      os << ",\"count\":" << h.counts[b] << '}';
+    }
+    os << "]}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+// ----------------------------------------------------------- Registry
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(
+        bounds.empty() ? default_latency_buckets() : std::move(bounds));
+  }
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c->value());
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace_back(name, g->value());
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace_back(name, h->snapshot());
+  }
+  return snap;
+}
+
+MetricsRegistry& metrics() {
+  // Immortal: gauges are updated from destructors of long-lived objects
+  // (pools, caches) whose teardown order vs. statics is unknowable.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace adr::obs

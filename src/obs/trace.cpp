@@ -1,0 +1,112 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace adr::obs {
+
+namespace {
+thread_local std::uint64_t t_trace_query = 0;
+}  // namespace
+
+void set_trace_query(std::uint64_t query_id) { t_trace_query = query_id; }
+std::uint64_t trace_query() { return t_trace_query; }
+
+void QueryTracer::enable(std::size_t capacity) {
+  std::lock_guard lock(mutex_);
+  capacity_ = std::max<std::size_t>(1, capacity);
+  ring_.clear();
+  ring_.reserve(capacity_);
+  next_ = 0;
+  recorded_ = 0;
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void QueryTracer::disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+std::uint64_t QueryTracer::now_us() const {
+  if (!enabled()) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void QueryTracer::record(const TraceEvent& event) {
+  if (!enabled()) return;
+  std::lock_guard lock(mutex_);
+  ++recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+    return;
+  }
+  ring_[next_] = event;  // overwrite the oldest
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<TraceEvent> QueryTracer::events() const {
+  std::lock_guard lock(mutex_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // Once saturated, next_ points at the oldest event.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::size_t QueryTracer::size() const {
+  std::lock_guard lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t QueryTracer::dropped() const {
+  std::lock_guard lock(mutex_);
+  return recorded_ - ring_.size();
+}
+
+void QueryTracer::clear() {
+  std::lock_guard lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  recorded_ = 0;
+}
+
+void QueryTracer::write_chrome_json(std::ostream& os) const {
+  const std::vector<TraceEvent> evs = events();
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  // Name the two "processes" so Perfetto labels the track groups.
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+        "\"args\":{\"name\":\"adr serving\"}},"
+     << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,"
+        "\"args\":{\"name\":\"adr executor nodes\"}}";
+  for (const TraceEvent& e : evs) {
+    const bool is_phase = e.tile >= 0;
+    os << ",{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
+       << json_escape(e.cat) << "\",\"ph\":\"X\",\"ts\":" << e.ts_us
+       << ",\"dur\":" << e.dur_us << ",\"pid\":" << (is_phase ? 2 : 1)
+       << ",\"tid\":" << e.tid << ",\"args\":{\"query\":" << e.query;
+    if (is_phase) os << ",\"tile\":" << e.tile;
+    os << "}}";
+  }
+  os << "]}";
+}
+
+std::string QueryTracer::chrome_json() const {
+  std::ostringstream os;
+  write_chrome_json(os);
+  return os.str();
+}
+
+QueryTracer& tracer() {
+  // Immortal for the same reason as metrics(): instrumentation may fire
+  // during static teardown.
+  static QueryTracer* t = new QueryTracer();
+  return *t;
+}
+
+}  // namespace adr::obs

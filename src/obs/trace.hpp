@@ -1,0 +1,99 @@
+// Query-lifecycle tracer: bounded ring of serving-side spans,
+// exportable as Chrome trace_event JSON (open in Perfetto / about:tracing).
+//
+// The execution engine already records per-node PhaseSpans when asked
+// (ExecStats::trace); this extends that timeline upward through the
+// serving stack.  One query submitted through the scheduler produces:
+//
+//   queued   - enqueue() accepted the query .. a worker dispatched it
+//   planned  - plan_query() duration inside Repository::submit
+//   execute  - backend execution duration
+//   <phase>  - the engine's per-node, per-tile phase intervals
+//              (Initialization / Local Reduction / ...), re-based onto
+//              the tracer clock
+//   reply    - result frame encode + socket write (server path)
+//
+// Recording is mutex-protected but only a struct copy; the tracer is
+// disabled by default and costs one relaxed atomic load per check.
+// When the ring is full the oldest events are overwritten (dropped()
+// counts them), so a long-lived server can leave tracing on and export
+// "the last N spans" at any time.
+//
+// tracer() is process-wide and immortal, like obs::metrics().
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace adr::obs {
+
+/// One completed span on the tracer clock (µs since enable()).
+/// `name`/`cat` must point at static storage (they are literals or
+/// phase_name() strings) — events are POD so the ring stays allocation-free.
+struct TraceEvent {
+  const char* name = "";
+  const char* cat = "serving";
+  /// Scheduler ticket (0 when submitted outside the scheduler).
+  std::uint64_t query = 0;
+  std::uint64_t ts_us = 0;
+  std::uint64_t dur_us = 0;
+  /// Chrome "thread": serving spans use the query id (one row per
+  /// query), phase spans use the node id.
+  std::uint32_t tid = 0;
+  /// Tile index for phase spans, -1 otherwise.
+  std::int32_t tile = -1;
+};
+
+class QueryTracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 8192;
+
+  /// Starts (or restarts) tracing: clears the ring, re-bases the clock.
+  void enable(std::size_t capacity = kDefaultCapacity);
+  void disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Microseconds since enable() (0 when disabled).
+  std::uint64_t now_us() const;
+
+  /// Appends when enabled; overwrites the oldest event once full.
+  void record(const TraceEvent& event);
+
+  /// Events currently held, oldest first.
+  std::vector<TraceEvent> events() const;
+  std::size_t size() const;
+  /// Events overwritten since enable().
+  std::uint64_t dropped() const;
+  void clear();
+
+  /// Chrome trace_event JSON ("traceEvents" array of complete "X"
+  /// events; pid 1 = serving, pid 2 = executor nodes).  Loadable in
+  /// Perfetto (ui.perfetto.dev) or chrome://tracing.
+  void write_chrome_json(std::ostream& os) const;
+  std::string chrome_json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::atomic<bool> enabled_{false};
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::size_t next_ = 0;          // ring insertion point once saturated
+  std::uint64_t recorded_ = 0;    // total record() calls since enable()
+  std::chrono::steady_clock::time_point epoch_{};
+};
+
+/// The process-wide tracer the serving stack records into.
+QueryTracer& tracer();
+
+/// Thread-local trace context: the scheduler sets the active ticket
+/// before Repository::submit so spans recorded inside it attach to the
+/// right query.  0 = no active query.
+void set_trace_query(std::uint64_t query_id);
+std::uint64_t trace_query();
+
+}  // namespace adr::obs

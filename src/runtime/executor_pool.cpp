@@ -2,7 +2,28 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace adr {
+namespace {
+
+// Cumulative, process-wide series (metric catalog: docs/observability.md).
+struct PoolMetrics {
+  obs::Counter& leases;
+  obs::Counter& warm_leases;
+  obs::Counter& cold_leases;
+  obs::Gauge& resident;
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics m{obs::metrics().counter("executor_pool.leases"),
+                       obs::metrics().counter("executor_pool.warm_leases"),
+                       obs::metrics().counter("executor_pool.cold_leases"),
+                       obs::metrics().gauge("executor_pool.resident")};
+  return m;
+}
+
+}  // namespace
 
 ThreadExecutorPool::ThreadExecutorPool(int num_nodes, int disks_per_node,
                                        ChunkStore* store, std::size_t max_resident)
@@ -18,17 +39,26 @@ ThreadExecutorPool::ThreadExecutorPool(int num_nodes, int disks_per_node,
   }
 }
 
+ThreadExecutorPool::~ThreadExecutorPool() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pool_metrics().resident.add(-static_cast<std::int64_t>(idle_.size()));
+}
+
 ThreadExecutorPool::Lease ThreadExecutorPool::acquire() {
   std::unique_ptr<ThreadExecutor> executor;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++leases_;
+    pool_metrics().leases.add();
     if (!idle_.empty()) {
       executor = std::move(idle_.back());
       idle_.pop_back();
       ++reuses_;
+      pool_metrics().warm_leases.add();
+      pool_metrics().resident.add(-1);
     } else {
       ++created_;
+      pool_metrics().cold_leases.add();
     }
   }
   // Construction (thread spawn) happens outside the pool lock.
@@ -43,6 +73,7 @@ void ThreadExecutorPool::release(std::unique_ptr<ThreadExecutor> executor) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (idle_.size() < max_resident_) {
       idle_.push_back(std::move(executor));
+      pool_metrics().resident.add(1);
       return;
     }
   }

@@ -47,6 +47,7 @@ class ThreadExecutorPool {
   /// pool.  `max_resident` >= 1.
   ThreadExecutorPool(int num_nodes, int disks_per_node, ChunkStore* store,
                      std::size_t max_resident);
+  ~ThreadExecutorPool();
 
   ThreadExecutorPool(const ThreadExecutorPool&) = delete;
   ThreadExecutorPool& operator=(const ThreadExecutorPool&) = delete;

@@ -3,7 +3,37 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace adr {
+namespace {
+
+// Cumulative process-wide series folding every cache instance's shard
+// counters (metric catalog: docs/observability.md).  The per-instance
+// ChunkCacheStats stay exact per cache; these are what the stats
+// endpoint and long-running dashboards read.
+struct CacheMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& evictions;
+  obs::Counter& insertions;
+  obs::Counter& invalidations;
+  obs::Gauge& resident_bytes;
+  obs::Gauge& resident_chunks;
+};
+
+CacheMetrics& cache_metrics() {
+  static CacheMetrics m{obs::metrics().counter("chunk_cache.hits"),
+                        obs::metrics().counter("chunk_cache.misses"),
+                        obs::metrics().counter("chunk_cache.evictions"),
+                        obs::metrics().counter("chunk_cache.insertions"),
+                        obs::metrics().counter("chunk_cache.invalidations"),
+                        obs::metrics().gauge("chunk_cache.resident_bytes"),
+                        obs::metrics().gauge("chunk_cache.resident_chunks")};
+  return m;
+}
+
+}  // namespace
 
 CachingChunkStore::CachingChunkStore(ChunkStore& backing, std::uint64_t bytes_per_disk)
     : backing_(&backing), bytes_per_disk_(bytes_per_disk) {
@@ -16,10 +46,24 @@ CachingChunkStore::CachingChunkStore(ChunkStore& backing, std::uint64_t bytes_pe
   }
 }
 
+CachingChunkStore::~CachingChunkStore() {
+  // Residency gauges are process-wide; give back what this instance
+  // still holds so a destroyed repository doesn't leak phantom bytes.
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    cache_metrics().resident_bytes.add(-static_cast<std::int64_t>(shard->bytes));
+    cache_metrics().resident_chunks.add(
+        -static_cast<std::int64_t>(shard->entries.size()));
+  }
+}
+
 void CachingChunkStore::remove_locked(Shard& shard, ChunkId id) const {
   auto it = shard.entries.find(id);
   if (it == shard.entries.end()) return;
   shard.bytes -= it->second.charged_bytes;
+  cache_metrics().resident_bytes.add(
+      -static_cast<std::int64_t>(it->second.charged_bytes));
+  cache_metrics().resident_chunks.add(-1);
   shard.lru.erase(it->second.lru_pos);
   shard.entries.erase(it);
 }
@@ -32,12 +76,16 @@ void CachingChunkStore::install_locked(Shard& shard, const Chunk& chunk) const {
     assert(!shard.lru.empty());
     remove_locked(shard, shard.lru.back());
     ++shard.evictions;
+    cache_metrics().evictions.add();
   }
   shard.lru.push_front(chunk.meta().id);
   Entry entry{chunk, shard.lru.begin(), cost};
   shard.bytes += cost;
   shard.entries.emplace(chunk.meta().id, std::move(entry));
   ++shard.insertions;
+  cache_metrics().insertions.add();
+  cache_metrics().resident_bytes.add(static_cast<std::int64_t>(cost));
+  cache_metrics().resident_chunks.add(1);
 }
 
 void CachingChunkStore::put(Chunk chunk) {
@@ -54,6 +102,7 @@ void CachingChunkStore::put(Chunk chunk) {
   if (it != shard.entries.end()) {
     // Coherence on overwrite of a cached id: refresh in place.
     ++shard.invalidations;
+    cache_metrics().invalidations.add();
     install_locked(shard, chunk);
   }
 }
@@ -65,10 +114,12 @@ std::optional<Chunk> CachingChunkStore::get(int disk, ChunkId id) const {
   auto it = shard.entries.find(id);
   if (it != shard.entries.end()) {
     ++shard.hits;
+    cache_metrics().hits.add();
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
     return it->second.chunk;
   }
   ++shard.misses;
+  cache_metrics().misses.add();
   std::optional<Chunk> chunk = backing_->get(disk, id);
   if (chunk.has_value()) install_locked(shard, *chunk);
   return chunk;
@@ -85,6 +136,7 @@ bool CachingChunkStore::erase(int disk, ChunkId id) {
   auto it = shard.entries.find(id);
   if (it != shard.entries.end()) {
     ++shard.invalidations;
+    cache_metrics().invalidations.add();
     remove_locked(shard, id);
   }
   return backing_->erase(disk, id);
@@ -116,6 +168,9 @@ ChunkCacheStats CachingChunkStore::stats() const {
 void CachingChunkStore::clear() {
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
+    cache_metrics().resident_bytes.add(-static_cast<std::int64_t>(shard->bytes));
+    cache_metrics().resident_chunks.add(
+        -static_cast<std::int64_t>(shard->entries.size()));
     shard->lru.clear();
     shard->entries.clear();
     shard->bytes = 0;

@@ -47,6 +47,7 @@ class CachingChunkStore : public ChunkStore {
   /// Wraps `backing` (not owned; must outlive the cache) with one LRU
   /// shard per backing disk, each budgeted `bytes_per_disk`.
   CachingChunkStore(ChunkStore& backing, std::uint64_t bytes_per_disk);
+  ~CachingChunkStore() override;
 
   void put(Chunk chunk) override;
   std::optional<Chunk> get(int disk, ChunkId id) const override;

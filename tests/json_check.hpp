@@ -1,0 +1,186 @@
+// Minimal recursive-descent JSON syntax checker for tests.
+//
+// The obs subsystem emits JSON (metrics snapshots, Chrome traces) with
+// hand-rolled serializers; the golden tests need to assert the output is
+// *well-formed*, not just that substrings appear.  No third-party JSON
+// dependency exists in this repo, so this is a ~100-line validator:
+// it accepts exactly the RFC 8259 grammar (no extensions) and reports
+// the byte offset of the first error.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace adr::testing {
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  /// True when the whole input is one valid JSON value.
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return ok_ && pos_ == text_.size();
+  }
+
+  std::string error() const {
+    if (ok_ && pos_ == text_.size()) return "";
+    return "JSON error near offset " + std::to_string(pos_) + ": ..." +
+           text_.substr(pos_ > 20 ? pos_ - 20 : 0, 40);
+  }
+
+ private:
+  bool fail() {
+    ok_ = false;
+    return false;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  bool eat(char c) {
+    if (peek() != c) return fail();
+    ++pos_;
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool value() {
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  bool literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (!eat(*p)) return false;
+    }
+    return true;
+  }
+
+  bool object() {
+    if (!eat('{')) return false;
+    skip_ws();
+    if (peek() == '}') return eat('}');
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return eat('}');
+    }
+  }
+
+  bool array() {
+    if (!eat('[')) return false;
+    skip_ws();
+    if (peek() == ']') return eat(']');
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return eat(']');
+    }
+  }
+
+  bool string() {
+    if (!eat('"')) return false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return fail();  // raw control
+      if (c == '\\') {
+        ++pos_;
+        const char esc = peek();
+        if (esc == 'u') {
+          ++pos_;
+          for (int i = 0; i < 4; ++i) {
+            if (!std::isxdigit(static_cast<unsigned char>(peek()))) return fail();
+            ++pos_;
+          }
+        } else if (esc == '"' || esc == '\\' || esc == '/' || esc == 'b' ||
+                   esc == 'f' || esc == 'n' || esc == 'r' || esc == 't') {
+          ++pos_;
+        } else {
+          return fail();
+        }
+      } else {
+        ++pos_;
+      }
+    }
+    return fail();  // unterminated
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (peek() == '0') {
+      ++pos_;
+    } else if (std::isdigit(static_cast<unsigned char>(peek()))) {
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    } else {
+      return fail();
+    }
+    if (peek() == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return fail();
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return fail();
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+inline bool is_valid_json(const std::string& text, std::string* err = nullptr) {
+  JsonChecker checker(text);
+  const bool ok = checker.valid();
+  if (!ok && err != nullptr) *err = checker.error();
+  return ok;
+}
+
+}  // namespace adr::testing

@@ -3,9 +3,12 @@
 #include <cstring>
 #include <thread>
 
+#include "json_check.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
 #include "net/wire.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "test_helpers.hpp"
 
 namespace adr::net {
@@ -107,6 +110,73 @@ TEST(Wire, ErrorResultRoundTrip) {
   const WireResult back = decode_result(encode_result(result));
   EXPECT_FALSE(back.ok);
   EXPECT_EQ(back.error, "unknown aggregation");
+}
+
+TEST(Wire, RetryAfterHintRoundTrips) {
+  WireResult result;
+  result.ok = false;
+  result.error = kServerBusyError;
+  result.retry_after_ms = 750;
+  const WireResult back = decode_result(encode_result(result));
+  EXPECT_TRUE(back.server_busy());
+  EXPECT_EQ(back.retry_after_ms, 750u);
+}
+
+TEST(Wire, V2ResultFrameStillDecodes) {
+  // A v2 peer's result body: same layout as v3 minus the appended
+  // retry-after field.  Decoding must accept it and default the hint.
+  Writer w;
+  w.u8(0x52);  // result tag
+  w.u8(2);     // protocol v2
+  w.u8(1);     // ok
+  w.str("");
+  w.u8(static_cast<std::uint8_t>(StrategyKind::kSRA));
+  w.u32(9);         // tiles
+  w.u64(3);         // ghost_chunks
+  w.u64(77);        // chunk_reads
+  w.f64(1.25);      // total_s
+  w.u64(4096);      // bytes_communicated
+  w.u64(10);        // cache_hits
+  w.u64(2);         // cache_misses
+  w.u32(0);         // outputs
+  const WireResult back = decode_result(w.take());
+  EXPECT_TRUE(back.ok);
+  EXPECT_EQ(back.strategy, StrategyKind::kSRA);
+  EXPECT_EQ(back.tiles, 9);
+  EXPECT_EQ(back.cache_hits, 10u);
+  EXPECT_EQ(back.retry_after_ms, 0u);  // v3 field defaults
+}
+
+TEST(Wire, UnsupportedVersionRejected) {
+  Writer w;
+  w.u8(0x52);
+  w.u8(1);  // v1 predates the cache counters; no longer decodable
+  EXPECT_THROW(decode_result(w.take()), WireError);
+}
+
+TEST(Wire, StatsFramesRoundTrip) {
+  WireStatsRequest req;
+  req.include_trace = true;
+  const auto req_frame = encode_stats_request(req);
+  EXPECT_TRUE(is_stats_request(req_frame));
+  EXPECT_TRUE(decode_stats_request(req_frame).include_trace);
+  EXPECT_FALSE(decode_stats_request(encode_stats_request({})).include_trace);
+
+  WireStatsReply reply;
+  reply.metrics_json = "{\"counters\":{}}";
+  reply.trace_json = "{\"traceEvents\":[]}";
+  const WireStatsReply back = decode_stats_reply(encode_stats_reply(reply));
+  EXPECT_EQ(back.metrics_json, reply.metrics_json);
+  EXPECT_EQ(back.trace_json, reply.trace_json);
+}
+
+TEST(Wire, StatsFrameRejectedByOtherDecoders) {
+  const auto frame = encode_stats_request({});
+  EXPECT_THROW(decode_query(frame), WireError);
+  EXPECT_THROW(decode_result(frame), WireError);
+  Query q;
+  q.range = Rect::cube(2, 0.0, 1.0);
+  EXPECT_FALSE(is_stats_request(encode_query(q)));
 }
 
 TEST(Wire, QueryFrameRejectedAsResult) {
@@ -222,6 +292,74 @@ TEST(ClientServer, StopUnblocksAndRefusesNewClients) {
   const std::uint16_t port = fx.server.port();
   fx.server.stop();
   EXPECT_THROW(AdrClient{port}, std::runtime_error);
+}
+
+TEST(ClientServer, StatsEndpointReturnsLiveMetrics) {
+  ServerFixture fx;
+  AdrClient client(fx.server.port());
+  ASSERT_TRUE(client.submit(fx.basic_query()).ok);
+
+  const WireStatsReply stats = client.stats();
+  std::string err;
+  ASSERT_TRUE(adr::testing::is_valid_json(stats.metrics_json, &err)) << err;
+  EXPECT_TRUE(stats.trace_json.empty());  // not requested
+
+  // The serving stack's series are present and alive: metrics are
+  // process-cumulative, so after one query on this connection the
+  // submit histogram and server counters must be nonzero.
+  const std::string& json = stats.metrics_json;
+  EXPECT_NE(json.find("\"server.queries_served\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"server.connections_accepted\":"), std::string::npos);
+  EXPECT_NE(json.find("\"scheduler.completed\":"), std::string::npos);
+  EXPECT_NE(json.find("\"submit.latency_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"executor_pool.leases\":"), std::string::npos);
+  EXPECT_NE(json.find("\"chunk_cache.hits\":"), std::string::npos);
+  EXPECT_EQ(json.find("\"submit.latency_s\":{\"count\":0"), std::string::npos)
+      << "submit latency histogram should have samples: " << json;
+
+  // Queries and stats requests interleave on one connection.
+  EXPECT_TRUE(client.submit(fx.basic_query()).ok);
+  EXPECT_TRUE(client.connected());
+}
+
+TEST(ClientServer, StatsIncludesTraceWhenEnabled) {
+  obs::tracer().enable(4096);
+  {
+    ServerFixture fx;
+    AdrClient client(fx.server.port());
+    ASSERT_TRUE(client.submit(fx.basic_query()).ok);
+
+    const WireStatsReply stats = client.stats(/*include_trace=*/true);
+    std::string err;
+    ASSERT_TRUE(adr::testing::is_valid_json(stats.metrics_json, &err)) << err;
+    ASSERT_FALSE(stats.trace_json.empty());
+    ASSERT_TRUE(adr::testing::is_valid_json(stats.trace_json, &err)) << err;
+    EXPECT_NE(stats.trace_json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(stats.trace_json.find("\"name\":\"queued\""), std::string::npos);
+    EXPECT_NE(stats.trace_json.find("\"name\":\"planned\""), std::string::npos);
+    EXPECT_NE(stats.trace_json.find("\"name\":\"reply\""), std::string::npos);
+  }
+  obs::tracer().disable();
+  obs::tracer().clear();
+}
+
+TEST(ClientServer, BusyRefusalCarriesRetryAfterHint) {
+  ServerFixture fx;
+  AdrServer tight(fx.repo, /*port=*/0, ComputeCosts{}, /*max_connections=*/1);
+  tight.start();
+
+  AdrClient first(tight.port());
+  // A served query guarantees the first connection is registered before
+  // the second one arrives (connect() alone can race the accept loop).
+  ASSERT_TRUE(first.submit(fx.basic_query()).ok);
+
+  AdrClient second(tight.port());
+  const WireResult refusal = second.submit(fx.basic_query());
+  ASSERT_TRUE(refusal.server_busy());
+  EXPECT_GE(refusal.retry_after_ms, 25u);
+  EXPECT_LE(refusal.retry_after_ms, 10000u);
+  EXPECT_FALSE(second.connected());  // busy refusal closes the connection
+  tight.stop();
 }
 
 TEST(ClientServer, ConnectToClosedPortFails) {

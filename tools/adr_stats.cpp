@@ -1,0 +1,73 @@
+// adr_stats: query a live AdrServer's observability endpoint.
+//
+// Connects to the server's socket port, sends a stats-request frame
+// (wire protocol v3) and prints the metrics snapshot JSON to stdout —
+// pipe it through `python3 -m json.tool` or `jq` for a readable view.
+// With --trace, also asks for the query-lifecycle trace and writes it
+// as Chrome trace_event JSON to the given file; open that file in
+// Perfetto (https://ui.perfetto.dev) or chrome://tracing.  The trace is
+// empty unless the server process has tracing enabled
+// (adr::obs::tracer().enable(), e.g. via a bench or test harness).
+//
+// Usage:
+//   adr_stats <port>                    print metrics JSON
+//   adr_stats <port> --trace out.json   also save the Chrome trace
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "net/client.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " <port> [--trace <out.json>]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const long port = std::strtol(argv[1], nullptr, 10);
+  if (port <= 0 || port > 65535) {
+    std::cerr << "adr_stats: bad port '" << argv[1] << "'\n";
+    return 2;
+  }
+  std::string trace_path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  try {
+    adr::net::AdrClient client(static_cast<std::uint16_t>(port));
+    const adr::net::WireStatsReply reply = client.stats(!trace_path.empty());
+    std::cout << reply.metrics_json << "\n";
+    if (!trace_path.empty()) {
+      if (reply.trace_json.empty()) {
+        std::cerr << "adr_stats: server returned no trace (tracing not "
+                     "enabled server-side?)\n";
+      } else {
+        std::ofstream out(trace_path);
+        if (!out) {
+          std::cerr << "adr_stats: cannot write " << trace_path << "\n";
+          return 1;
+        }
+        out << reply.trace_json;
+        std::cerr << "adr_stats: wrote Chrome trace to " << trace_path
+                  << " (open in https://ui.perfetto.dev)\n";
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "adr_stats: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
