@@ -90,8 +90,8 @@ int main() {
     q.delivery = OutputDelivery::kReturnToClient;
 
     const net::WireResult result = client.submit(q);
-    if (!result.ok) {
-      std::cerr << "query failed: " << result.error << "\n";
+    if (!result.ok()) {
+      std::cerr << "query failed: " << result.status.to_string() << "\n";
       return 1;
     }
     std::uint64_t count = 0, max = 0;
@@ -126,7 +126,7 @@ int main() {
           q.aggregation = "sum-count-max";
           q.delivery = OutputDelivery::kReturnToClient;
           const net::WireResult result = me.submit(q);
-          if (!result.ok) {
+          if (!result.ok()) {
             ++failures;
             continue;
           }

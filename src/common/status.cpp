@@ -1,0 +1,50 @@
+#include "common/status.hpp"
+
+namespace adr {
+
+const char* to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid-argument";
+    case StatusCode::kNotFound:
+      return "not-found";
+    case StatusCode::kBusy:
+      return "busy";
+    case StatusCode::kPlanRejected:
+      return "plan-rejected";
+    case StatusCode::kExecFailed:
+      return "exec-failed";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "ok";
+  std::string s = adr::to_string(code);
+  if (!message.empty()) {
+    s += ": ";
+    s += message;
+  }
+  return s;
+}
+
+Status status_from_exception(const std::exception& e) {
+  if (const auto* se = dynamic_cast<const StatusError*>(&e)) {
+    return se->to_status();
+  }
+  if (dynamic_cast<const std::invalid_argument*>(&e) != nullptr) {
+    return Status::make(StatusCode::kInvalidArgument, e.what());
+  }
+  if (dynamic_cast<const std::out_of_range*>(&e) != nullptr) {
+    return Status::make(StatusCode::kNotFound, e.what());
+  }
+  return Status::make(StatusCode::kExecFailed, e.what());
+}
+
+}  // namespace adr

@@ -6,6 +6,7 @@
 #include <chrono>
 #include <mutex>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "common/logging.hpp"
 #include "obs/metrics.hpp"
@@ -48,6 +49,7 @@ struct SchedulerMetrics {
   obs::Counter& rejected;
   obs::Counter& completed;
   obs::Counter& failed;
+  obs::Counter& gangs_formed;
   obs::Gauge& queue_depth;
   obs::Gauge& in_flight;
   obs::Histogram& queue_wait;
@@ -58,15 +60,50 @@ SchedulerMetrics& scheduler_metrics() {
                             obs::metrics().counter("scheduler.rejected"),
                             obs::metrics().counter("scheduler.completed"),
                             obs::metrics().counter("scheduler.failed"),
+                            obs::metrics().counter("scheduler.gangs_formed"),
                             obs::metrics().gauge("scheduler.queue_depth"),
                             obs::metrics().gauge("scheduler.in_flight"),
                             obs::metrics().histogram("scheduler.queue_wait_s")};
   return m;
 }
 
+// Batch / gang execution series (catalog: docs/batching.md).
+struct BatchMetrics {
+  obs::Counter& gangs;
+  obs::Counter& members;
+  obs::Counter& shared_hits;
+  obs::Counter& cold_reads;
+  obs::Counter& saved_reads;
+  obs::Counter& cap_rejections;
+  obs::Histogram& gang_size;
+};
+
+BatchMetrics& batch_metrics() {
+  static BatchMetrics m{
+      obs::metrics().counter("batch.gangs"),
+      obs::metrics().counter("batch.members"),
+      obs::metrics().counter("batch.shared_hits"),
+      obs::metrics().counter("batch.cold_reads"),
+      obs::metrics().counter("batch.saved_reads"),
+      obs::metrics().counter("batch.cap_rejections"),
+      obs::metrics().histogram("batch.gang_size",
+                               {1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0})};
+  return m;
+}
+
 double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
       .count();
+}
+
+void record_submit_success(const QueryResult& result, double elapsed_s) {
+  SubmitMetrics& m = submit_metrics();
+  m.count.add();
+  m.latency.observe(elapsed_s);
+  const int strategy = static_cast<int>(result.strategy);
+  if (strategy >= 0 && strategy < static_cast<int>(m.by_strategy.size())) {
+    m.by_strategy[static_cast<std::size_t>(strategy)]->observe(elapsed_s);
+  }
 }
 
 }  // namespace
@@ -165,14 +202,7 @@ QueryResult Repository::submit(const Query& query, const ComputeCosts& costs,
       std::shared_lock lock(catalog_mutex_);
       result = submit_locked(query, costs, exec_options);
     }
-    const double elapsed_s = seconds_since(t0);
-    SubmitMetrics& m = submit_metrics();
-    m.count.add();
-    m.latency.observe(elapsed_s);
-    const int strategy = static_cast<int>(result.strategy);
-    if (strategy >= 0 && strategy < static_cast<int>(m.by_strategy.size())) {
-      m.by_strategy[static_cast<std::size_t>(strategy)]->observe(elapsed_s);
-    }
+    record_submit_success(result, seconds_since(t0));
     return result;
   } catch (...) {
     submit_metrics().errors.add();
@@ -180,42 +210,44 @@ QueryResult Repository::submit(const Query& query, const ComputeCosts& costs,
   }
 }
 
-QueryResult Repository::submit_locked(const Query& query, const ComputeCosts& costs,
-                                      const ExecOptions& exec_options) {
+Repository::Prepared Repository::prepare_locked(const Query& query,
+                                                const ComputeCosts& costs) const {
   auto lookup = [this](std::uint32_t id) -> const Dataset& {
     auto it = datasets_.find(id);
     if (it == datasets_.end()) throw std::out_of_range("Repository: unknown dataset");
     return it->second;
   };
-  const Dataset& input = lookup(query.input_dataset);
-  const Dataset& output = lookup(query.output_dataset);
-  std::vector<const Dataset*> all_inputs = {&input};
+  Prepared p;
+  p.input = &lookup(query.input_dataset);
+  p.output = &lookup(query.output_dataset);
+  p.all_inputs = {p.input};
   for (std::uint32_t id : query.extra_input_datasets) {
-    all_inputs.push_back(&lookup(id));
+    p.all_inputs.push_back(&lookup(id));
+  }
+  if (!query.range.valid()) {
+    throw std::invalid_argument("submit: invalid query range");
   }
 
-  const MapFunction* map = nullptr;
   if (!query.map_function.empty()) {
-    map = spaces_.find_map(query.map_function);
-    if (map == nullptr) {
+    p.map = spaces_.find_map(query.map_function);
+    if (p.map == nullptr) {
       throw std::invalid_argument("submit: unknown map function " + query.map_function);
     }
   }
-  const AggregationOp* op = nullptr;
   if (!query.aggregation.empty()) {
-    op = aggregations_.find(query.aggregation);
-    if (op == nullptr) {
+    p.op = aggregations_.find(query.aggregation);
+    if (p.op == nullptr) {
       throw std::invalid_argument("submit: unknown aggregation " + query.aggregation);
     }
   }
 
-  PlanRequest request;
-  request.input = &input;
-  request.extra_inputs.assign(all_inputs.begin() + 1, all_inputs.end());
-  request.output = &output;
+  PlanRequest& request = p.request;
+  request.input = p.input;
+  request.extra_inputs.assign(p.all_inputs.begin() + 1, p.all_inputs.end());
+  request.output = p.output;
   request.range = query.range;
-  request.map = map;
-  request.op = op;
+  request.map = p.map;
+  request.op = p.op;
   request.num_nodes = config_.num_nodes;
   request.disks_per_node = config_.disks_per_node;
   request.memory_per_node = config_.memory_per_node;
@@ -229,19 +261,43 @@ QueryResult Repository::submit_locked(const Query& query, const ComputeCosts& co
   request.machine.net_bw_bytes_per_s = config_.machine.link.bandwidth_bytes_per_sec;
   request.machine.comm_cpu_bytes_per_s = config_.machine.link.cpu_overhead_bytes_per_sec;
   request.machine.disks_per_node = config_.disks_per_node;
+  return p;
+}
 
+PlannedQuery Repository::plan_prepared(const Prepared& prepared) const {
   obs::QueryTracer& tr = obs::tracer();
   const bool tracing = tr.enabled();
   const std::uint64_t qid = obs::trace_query();
 
   const auto plan_t0 = std::chrono::steady_clock::now();
   const std::uint64_t plan_ts_us = tracing ? tr.now_us() : 0;
-  PlannedQuery planned = plan_query(request);
+  PlannedQuery planned;
+  try {
+    planned = plan_query(prepared.request);
+  } catch (const StatusError&) {
+    throw;
+  } catch (const std::exception& e) {
+    // Argument-shaped problems were rejected in prepare_locked; what the
+    // planning service itself refuses is a distinct failure class.
+    throw StatusError(StatusCode::kPlanRejected, e.what());
+  }
   submit_metrics().plan.observe(seconds_since(plan_t0));
   if (tracing) {
     tr.record({"planned", "serving", qid, plan_ts_us, tr.now_us() - plan_ts_us,
                static_cast<std::uint32_t>(qid), -1});
   }
+  return planned;
+}
+
+QueryResult Repository::execute_planned_locked(const Query& query,
+                                               const Prepared& prepared,
+                                               PlannedQuery&& planned,
+                                               const ComputeCosts& costs,
+                                               const ExecOptions& exec_options,
+                                               Executor* gang_executor) {
+  obs::QueryTracer& tr = obs::tracer();
+  const bool tracing = tr.enabled();
+  const std::uint64_t qid = obs::trace_query();
 
   ExecOptions options = exec_options;
   if (config_.backend == RepositoryConfig::Backend::kSimulated &&
@@ -275,7 +331,7 @@ QueryResult Repository::submit_locked(const Query& query, const ComputeCosts& co
   result.tiles = planned.plan.num_tiles;
   result.ghost_chunks = planned.plan.total_ghost_chunks;
   result.chunk_reads = planned.plan.total_reads;
-  result.estimates = planned.estimates;
+  result.estimates = std::move(planned.estimates);
 
   const std::uint64_t exec_ts_us = tracing ? tr.now_us() : 0;
 
@@ -286,21 +342,27 @@ QueryResult Repository::submit_locked(const Query& query, const ComputeCosts& co
     machine.accumulator_memory_bytes = config_.memory_per_node;
     sim::SimCluster cluster(machine);
     SimExecutor executor(&cluster, config_.store_payloads ? store_.get() : nullptr);
-    result.stats = execute_query(executor, planned, all_inputs, output, op, costs,
-                                 config_.disks_per_node, options);
+    result.stats = execute_query(executor, planned, prepared.all_inputs, *prepared.output,
+                                 prepared.op, costs, config_.disks_per_node, options);
   } else {
     const ChunkCacheStats cache_before = cache_ ? cache_->stats() : ChunkCacheStats{};
-    if (config_.reuse_executor) {
+    if (gang_executor != nullptr) {
+      // Batch path: the gang's shared executor (bound to its shared-scan
+      // buffer) serves every member in turn.
+      result.stats = execute_query(*gang_executor, planned, prepared.all_inputs,
+                                   *prepared.output, prepared.op, costs,
+                                   config_.disks_per_node, options);
+    } else if (config_.reuse_executor) {
       // Exclusive lease on a warm executor; released (kept resident)
       // when the lease leaves scope.
       ThreadExecutorPool::Lease lease = thread_pool().acquire();
-      result.stats = execute_query(*lease, planned, all_inputs, output, op, costs,
-                                   config_.disks_per_node, options);
+      result.stats = execute_query(*lease, planned, prepared.all_inputs, *prepared.output,
+                                   prepared.op, costs, config_.disks_per_node, options);
     } else {
       ThreadExecutor executor(config_.num_nodes, config_.disks_per_node,
                               &active_store());
-      result.stats = execute_query(executor, planned, all_inputs, output, op, costs,
-                                   config_.disks_per_node, options);
+      result.stats = execute_query(executor, planned, prepared.all_inputs, *prepared.output,
+                                   prepared.op, costs, config_.disks_per_node, options);
     }
     if (cache_ != nullptr) {
       const ChunkCacheStats after = cache_->stats();
@@ -342,12 +404,168 @@ QueryResult Repository::submit_locked(const Query& query, const ComputeCosts& co
   return result;
 }
 
+QueryResult Repository::submit_locked(const Query& query, const ComputeCosts& costs,
+                                      const ExecOptions& exec_options) {
+  Prepared prepared = prepare_locked(query, costs);
+  PlannedQuery planned = plan_prepared(prepared);
+  return execute_planned_locked(query, prepared, std::move(planned), costs, exec_options,
+                                nullptr);
+}
+
+std::vector<SubmitOutcome> Repository::submit_batch(
+    const std::vector<SubmitRequest>& batch) {
+  std::vector<SubmitOutcome> outcomes(batch.size());
+  if (batch.empty()) return outcomes;
+  std::shared_lock lock(catalog_mutex_);
+
+  // Group members by input-dataset signature, preserving submission
+  // order within each group.  Only same-input groups can share a scan.
+  std::map<std::vector<std::uint32_t>, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    std::vector<std::uint32_t> key = {batch[i].query.input_dataset};
+    key.insert(key.end(), batch[i].query.extra_input_datasets.begin(),
+               batch[i].query.extra_input_datasets.end());
+    groups[std::move(key)].push_back(i);
+  }
+
+  const bool can_gang = config_.backend == RepositoryConfig::Backend::kThreads &&
+                        config_.batch_scan_bytes > 0;
+  for (const auto& [key, indices] : groups) {
+    if (can_gang && indices.size() >= 2) {
+      run_gang_locked(batch, indices, outcomes);
+    } else {
+      for (std::size_t i : indices) {
+        const auto t0 = std::chrono::steady_clock::now();
+        try {
+          outcomes[i].result =
+              submit_locked(batch[i].query, batch[i].costs, batch[i].options);
+          record_submit_success(outcomes[i].result, seconds_since(t0));
+        } catch (const std::exception& e) {
+          submit_metrics().errors.add();
+          outcomes[i].status = status_from_exception(e);
+        }
+      }
+    }
+  }
+  return outcomes;
+}
+
+void Repository::run_gang_locked(const std::vector<SubmitRequest>& batch,
+                                 const std::vector<std::size_t>& indices,
+                                 std::vector<SubmitOutcome>& outcomes) {
+  struct Member {
+    std::size_t index;  // into batch / outcomes
+    Prepared prepared;
+    PlannedQuery planned;
+    std::chrono::steady_clock::time_point t0;
+  };
+  std::vector<Member> members;
+  members.reserve(indices.size());
+  for (std::size_t i : indices) {
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+      Prepared prepared = prepare_locked(batch[i].query, batch[i].costs);
+      PlannedQuery planned = plan_prepared(prepared);
+      members.push_back(Member{i, std::move(prepared), std::move(planned), t0});
+    } catch (const std::exception& e) {
+      // One member failing to plan does not sink its gang.
+      submit_metrics().errors.add();
+      outcomes[i].status = status_from_exception(e);
+    }
+  }
+  if (members.empty()) return;
+
+  obs::QueryTracer& tr = obs::tracer();
+  const bool tracing = tr.enabled();
+  const std::uint64_t qid = obs::trace_query();
+  const std::uint64_t gang_ts_us = tracing ? tr.now_us() : 0;
+
+  // Shared-scan schedule: per lockstep tile, the union of member reads.
+  std::vector<const PlannedQuery*> ptrs;
+  std::vector<std::vector<const Dataset*>> member_inputs;
+  ptrs.reserve(members.size());
+  member_inputs.reserve(members.size());
+  for (const Member& m : members) {
+    ptrs.push_back(&m.planned);
+    member_inputs.push_back(m.prepared.all_inputs);
+  }
+  const BatchSharedPlan shared = build_batch_shared_plan(ptrs, member_inputs);
+
+  SharedScanStore scan(active_store(), config_.batch_scan_bytes);
+  for (const BatchTile& tile : shared.tiles) {
+    for (const BatchSharedRead& read : tile.reads) {
+      scan.add_planned_uses(read.id, static_cast<std::uint32_t>(read.members.size()));
+    }
+  }
+
+  // Members execute sequentially (submission order) on one executor bound
+  // to the shared-scan buffer: a chunk several members need is fetched
+  // from the farm once and stays resident between its first and last
+  // reader.  Per-member results are attributed individually.
+  auto execute_members = [&](Executor& exec) {
+    for (Member& m : members) {
+      const SharedScanStats before = scan.stats();
+      try {
+        QueryResult r = execute_planned_locked(
+            batch[m.index].query, m.prepared, std::move(m.planned),
+            batch[m.index].costs, batch[m.index].options, &exec);
+        const SharedScanStats after = scan.stats();
+        r.gang_size = static_cast<std::uint32_t>(members.size());
+        r.gang_shared_hits = after.shared_hits - before.shared_hits;
+        r.gang_cold_reads = after.cold_fetches - before.cold_fetches;
+        record_submit_success(r, seconds_since(m.t0));
+        outcomes[m.index].result = std::move(r);
+      } catch (const std::exception& e) {
+        submit_metrics().errors.add();
+        outcomes[m.index].status = status_from_exception(e);
+      }
+    }
+  };
+
+  if (config_.reuse_executor) {
+    ThreadExecutorPool::Lease lease = thread_pool().acquire();
+    // Point the warm executor at the gang's scan buffer for the gang's
+    // lifetime; restore the farm before the lease returns to the pool.
+    struct StoreRestore {
+      ThreadExecutor* exec;
+      ChunkStore* farm;
+      ~StoreRestore() { exec->set_store(farm); }
+    } restore{&*lease, lease->store()};
+    lease->set_store(&scan);
+    execute_members(*lease);
+  } else {
+    ThreadExecutor executor(config_.num_nodes, config_.disks_per_node, &scan);
+    execute_members(executor);
+  }
+
+  const SharedScanStats final_stats = scan.stats();
+  BatchMetrics& bm = batch_metrics();
+  bm.gangs.add();
+  bm.members.add(members.size());
+  bm.gang_size.observe(static_cast<double>(members.size()));
+  bm.shared_hits.add(final_stats.shared_hits);
+  bm.cold_reads.add(final_stats.cold_fetches);
+  bm.saved_reads.add(shared.saved_reads());
+  bm.cap_rejections.add(final_stats.cap_rejections);
+  if (tracing) {
+    tr.record({"gang", "serving", qid, gang_ts_us, tr.now_us() - gang_ts_us,
+               static_cast<std::uint32_t>(qid), -1});
+  }
+}
+
 std::vector<QueryResult> Repository::submit_all(const std::vector<Query>& queries,
                                                 const ComputeCosts& costs,
                                                 const ExecOptions& exec_options) {
+  std::vector<SubmitRequest> batch;
+  batch.reserve(queries.size());
+  for (const Query& q : queries) batch.push_back(SubmitRequest{q, costs, exec_options});
+  std::vector<SubmitOutcome> outcomes = submit_batch(batch);
   std::vector<QueryResult> results;
-  results.reserve(queries.size());
-  for (const Query& q : queries) results.push_back(submit(q, costs, exec_options));
+  results.reserve(outcomes.size());
+  for (SubmitOutcome& o : outcomes) {
+    if (!o.status.ok()) throw StatusError(o.status.code, o.status.message);
+    results.push_back(std::move(o.result));
+  }
   return results;
 }
 
@@ -383,8 +601,19 @@ void QuerySubmissionService::stop() {
   stopping_ = false;
 }
 
+void QuerySubmissionService::set_gang_policy(const GangPolicy& policy) {
+  std::lock_guard lock(mutex_);
+  gang_policy_ = policy;
+}
+
+QuerySubmissionService::GangPolicy QuerySubmissionService::gang_policy() const {
+  std::lock_guard lock(mutex_);
+  return gang_policy_;
+}
+
 std::uint64_t QuerySubmissionService::enqueue(Query query, ComputeCosts costs,
-                                              std::uint64_t client_id) {
+                                              std::uint64_t client_id,
+                                              ExecOptions options) {
   std::unique_lock lock(mutex_);
   // Back-pressure: bound accepted-but-unfinished work while a pool runs.
   if (!workers_.empty()) {
@@ -393,7 +622,7 @@ std::uint64_t QuerySubmissionService::enqueue(Query query, ComputeCosts costs,
     });
   }
   const std::uint64_t ticket = next_ticket_++;
-  queue_.push_back(Pending{ticket, client_id, std::move(query), costs,
+  queue_.push_back(Pending{ticket, client_id, std::move(query), costs, options,
                            std::chrono::steady_clock::now(),
                            obs::tracer().now_us()});
   scheduler_metrics().enqueued.add();
@@ -403,14 +632,15 @@ std::uint64_t QuerySubmissionService::enqueue(Query query, ComputeCosts costs,
 }
 
 std::uint64_t QuerySubmissionService::try_enqueue(Query query, ComputeCosts costs,
-                                                  std::uint64_t client_id) {
+                                                  std::uint64_t client_id,
+                                                  ExecOptions options) {
   std::lock_guard lock(mutex_);
   if (queue_.size() + in_flight_ >= max_pending_) {
     scheduler_metrics().rejected.add();
     return 0;
   }
   const std::uint64_t ticket = next_ticket_++;
-  queue_.push_back(Pending{ticket, client_id, std::move(query), costs,
+  queue_.push_back(Pending{ticket, client_id, std::move(query), costs, options,
                            std::chrono::steady_clock::now(),
                            obs::tracer().now_us()});
   scheduler_metrics().enqueued.add();
@@ -419,26 +649,66 @@ std::uint64_t QuerySubmissionService::try_enqueue(Query query, ComputeCosts cost
   return ticket;
 }
 
+bool QuerySubmissionService::ticket_pending_locked(std::uint64_t ticket) const {
+  if (running_.contains(ticket)) return true;
+  for (const Pending& p : queue_) {
+    if (p.ticket == ticket) return true;
+  }
+  return false;
+}
+
 QuerySubmissionService::Outcome QuerySubmissionService::take(std::uint64_t ticket) {
   std::unique_lock lock(mutex_);
   Outcome out;
   if (ticket == 0 || ticket >= next_ticket_) {
-    out.error = "unknown ticket";
+    out.status = Status::make(StatusCode::kNotFound, "unknown ticket");
     return out;
   }
+  // Wake on finish *or* on the ticket vanishing (another take() already
+  // drained it) — waiting only on the outcome maps would block forever
+  // for a ticket taken twice.
   done_cv_.wait(lock, [&]() {
-    return results_.contains(ticket) || errors_.contains(ticket);
+    return results_.contains(ticket) || errors_.contains(ticket) ||
+           !ticket_pending_locked(ticket);
   });
   if (auto it = results_.find(ticket); it != results_.end()) {
-    out.ok = true;
     out.result = std::move(it->second);
     results_.erase(it);
-  } else {
-    auto eit = errors_.find(ticket);
-    out.error = std::move(eit->second);
+    // A second waiter on this ticket must wake and observe it gone.
+    done_cv_.notify_all();
+  } else if (auto eit = errors_.find(ticket); eit != errors_.end()) {
+    out.status = std::move(eit->second);
     errors_.erase(eit);
+    done_cv_.notify_all();
+  } else {
+    out.status = Status::make(StatusCode::kNotFound, "ticket already taken");
   }
   return out;
+}
+
+std::optional<QuerySubmissionService::Outcome> QuerySubmissionService::try_take(
+    std::uint64_t ticket) {
+  std::lock_guard lock(mutex_);
+  Outcome out;
+  if (ticket == 0 || ticket >= next_ticket_) {
+    out.status = Status::make(StatusCode::kNotFound, "unknown ticket");
+    return out;
+  }
+  if (auto it = results_.find(ticket); it != results_.end()) {
+    out.result = std::move(it->second);
+    results_.erase(it);
+    return out;
+  }
+  if (auto it = errors_.find(ticket); it != errors_.end()) {
+    out.status = std::move(it->second);
+    errors_.erase(it);
+    return out;
+  }
+  if (!ticket_pending_locked(ticket)) {
+    out.status = Status::make(StatusCode::kNotFound, "ticket already taken");
+    return out;
+  }
+  return std::nullopt;  // still queued or running
 }
 
 bool QuerySubmissionService::pop_runnable(Pending& out) {
@@ -447,12 +717,62 @@ bool QuerySubmissionService::pop_runnable(Pending& out) {
     out = std::move(*it);
     queue_.erase(it);
     busy_clients_.insert(out.client);
+    running_.insert(out.ticket);
     ++in_flight_;
     scheduler_metrics().queue_depth.add(-1);
     scheduler_metrics().in_flight.add(1);
     return true;
   }
   return false;
+}
+
+void QuerySubmissionService::form_gang_locked(std::vector<Pending>& gang) {
+  // Copied, not referenced: push_back below may reallocate `gang`.
+  const Query leader = gang.front().query;
+  // Clients whose earliest remaining query was examined but not taken:
+  // their later queries must not overtake it into the gang (lane FIFO).
+  std::unordered_set<std::uint64_t> blocked;
+  for (auto it = queue_.begin();
+       it != queue_.end() && gang.size() < gang_policy_.max_gang;) {
+    if (busy_clients_.contains(it->client) || blocked.contains(it->client)) {
+      blocked.insert(it->client);
+      ++it;
+      continue;
+    }
+    const bool compatible =
+        it->query.input_dataset == leader.input_dataset &&
+        it->query.extra_input_datasets == leader.extra_input_datasets &&
+        it->query.strategy == leader.strategy &&
+        it->query.aggregation == leader.aggregation &&
+        it->query.map_function == leader.map_function &&
+        it->query.range.valid() && leader.range.valid() &&
+        it->query.range.intersects(leader.range);
+    if (!compatible) {
+      blocked.insert(it->client);
+      ++it;
+      continue;
+    }
+    busy_clients_.insert(it->client);
+    running_.insert(it->ticket);
+    ++in_flight_;
+    scheduler_metrics().queue_depth.add(-1);
+    scheduler_metrics().in_flight.add(1);
+    gang.push_back(std::move(*it));
+    it = queue_.erase(it);
+  }
+}
+
+void QuerySubmissionService::finish_locked(std::uint64_t ticket, std::uint64_t client,
+                                           Outcome&& outcome) {
+  if (outcome.ok()) {
+    results_.emplace(ticket, std::move(outcome.result));
+  } else {
+    errors_.emplace(ticket, std::move(outcome.status));
+  }
+  busy_clients_.erase(client);
+  running_.erase(ticket);
+  --in_flight_;
+  ++completed_;
 }
 
 void QuerySubmissionService::run_one(Pending&& p) {
@@ -466,48 +786,118 @@ void QuerySubmissionService::run_one(Pending&& p) {
     tr.record({"queued", "serving", p.ticket, ts, now - ts,
                static_cast<std::uint32_t>(p.ticket), -1});
   }
-  QueryResult result;
-  std::string error;
-  bool ok = true;
+  Outcome out;
   // Spans recorded inside Repository::submit attach to this ticket.
   obs::set_trace_query(p.ticket);
   try {
-    ExecOptions exec_options;
+    ExecOptions exec_options = p.options;
     // The per-tile phase timeline feeds the exported trace; recording it
     // costs a couple of timestamps per phase, paid only while tracing.
-    exec_options.record_trace = tracing;
-    result = repository_->submit(p.query, p.costs, exec_options);
+    exec_options.record_trace = exec_options.record_trace || tracing;
+    out.result = repository_->submit(p.query, p.costs, exec_options);
   } catch (const std::exception& e) {
-    ok = false;
-    error = e.what();
+    out.status = status_from_exception(e);
     ADR_WARN("submission service: ticket " << p.ticket << " failed: " << e.what());
   }
   obs::set_trace_query(0);
   scheduler_metrics().in_flight.add(-1);
-  (ok ? scheduler_metrics().completed : scheduler_metrics().failed).add();
+  (out.ok() ? scheduler_metrics().completed : scheduler_metrics().failed).add();
   std::lock_guard lock(mutex_);
-  if (ok) {
-    results_.emplace(p.ticket, std::move(result));
-  } else {
-    errors_.emplace(p.ticket, std::move(error));
-  }
-  busy_clients_.erase(p.client);
-  --in_flight_;
-  ++completed_;
+  finish_locked(p.ticket, p.client, std::move(out));
   // A freed lane may unblock a queued query for the same client.
+  work_cv_.notify_all();
+  done_cv_.notify_all();
+}
+
+void QuerySubmissionService::run_gang(std::vector<Pending>&& gang) {
+  obs::QueryTracer& tr = obs::tracer();
+  const bool tracing = tr.enabled();
+  std::vector<SubmitRequest> requests;
+  requests.reserve(gang.size());
+  for (Pending& p : gang) {
+    scheduler_metrics().queue_wait.observe(seconds_since(p.enqueued_at));
+    if (tracing) {
+      const std::uint64_t now = tr.now_us();
+      const std::uint64_t ts = std::min(p.enqueued_ts_us, now);
+      tr.record({"queued", "serving", p.ticket, ts, now - ts,
+                 static_cast<std::uint32_t>(p.ticket), -1});
+    }
+    SubmitRequest r;
+    r.query = std::move(p.query);
+    r.costs = p.costs;
+    r.options = p.options;
+    r.options.record_trace = r.options.record_trace || tracing;
+    requests.push_back(std::move(r));
+  }
+  scheduler_metrics().gangs_formed.add();
+  // Spans recorded inside submit_batch attach to the gang leader.
+  obs::set_trace_query(gang.front().ticket);
+  std::vector<SubmitOutcome> outs;
+  bool whole_batch_failed = false;
+  Status batch_status;
+  try {
+    outs = repository_->submit_batch(requests);
+  } catch (const std::exception& e) {
+    whole_batch_failed = true;
+    batch_status = status_from_exception(e);
+    ADR_WARN("submission service: gang of " << gang.size() << " failed: " << e.what());
+  }
+  obs::set_trace_query(0);
+
+  {
+    std::lock_guard lock(mutex_);
+    for (std::size_t i = 0; i < gang.size(); ++i) {
+      Outcome out;
+      if (whole_batch_failed) {
+        out.status = batch_status;
+      } else if (i < outs.size()) {
+        out.status = std::move(outs[i].status);
+        out.result = std::move(outs[i].result);
+      } else {
+        out.status = Status::make(StatusCode::kInternal, "batch produced no outcome");
+      }
+      scheduler_metrics().in_flight.add(-1);
+      (out.ok() ? scheduler_metrics().completed : scheduler_metrics().failed).add();
+      if (!out.ok()) {
+        ADR_WARN("submission service: ticket " << gang[i].ticket
+                                               << " failed: " << out.status.to_string());
+      }
+      finish_locked(gang[i].ticket, gang[i].client, std::move(out));
+    }
+  }
   work_cv_.notify_all();
   done_cv_.notify_all();
 }
 
 void QuerySubmissionService::worker_loop() {
   for (;;) {
-    Pending p{};
+    std::vector<Pending> gang;
     {
       std::unique_lock lock(mutex_);
-      work_cv_.wait(lock, [&]() { return pop_runnable(p) || (stopping_ && queue_.empty()); });
+      Pending p{};
+      work_cv_.wait(lock,
+                    [&]() { return pop_runnable(p) || (stopping_ && queue_.empty()); });
       if (p.ticket == 0) return;  // stopping and nothing runnable
+      gang.push_back(std::move(p));
+      if (gang_policy_.enabled && gang_policy_.max_gang > 1) {
+        form_gang_locked(gang);
+        if (gang_policy_.window.count() > 0 && gang.size() < gang_policy_.max_gang &&
+            !stopping_) {
+          // Short formation window: wait for near-simultaneous arrivals
+          // to join before dispatching.
+          const auto deadline = std::chrono::steady_clock::now() + gang_policy_.window;
+          while (gang.size() < gang_policy_.max_gang && !stopping_ &&
+                 work_cv_.wait_until(lock, deadline) != std::cv_status::timeout) {
+            form_gang_locked(gang);
+          }
+        }
+      }
     }
-    run_one(std::move(p));
+    if (gang.size() == 1) {
+      run_one(std::move(gang.front()));
+    } else {
+      run_gang(std::move(gang));
+    }
   }
 }
 
@@ -528,6 +918,7 @@ std::size_t QuerySubmissionService::process_all() {
       p = std::move(queue_.front());
       queue_.pop_front();
       busy_clients_.insert(p.client);
+      running_.insert(p.ticket);
       ++in_flight_;
       scheduler_metrics().queue_depth.add(-1);
       scheduler_metrics().in_flight.add(1);
@@ -541,7 +932,8 @@ const QueryResult* QuerySubmissionService::wait(std::uint64_t ticket) {
   std::unique_lock lock(mutex_);
   if (ticket == 0 || ticket >= next_ticket_) return nullptr;
   done_cv_.wait(lock, [&]() {
-    return results_.contains(ticket) || errors_.contains(ticket);
+    return results_.contains(ticket) || errors_.contains(ticket) ||
+           !ticket_pending_locked(ticket);  // e.g. drained by take()
   });
   auto it = results_.find(ticket);
   return it == results_.end() ? nullptr : &it->second;
@@ -568,7 +960,7 @@ const QueryResult* QuerySubmissionService::result(std::uint64_t ticket) const {
 const std::string* QuerySubmissionService::error(std::uint64_t ticket) const {
   std::lock_guard lock(mutex_);
   auto it = errors_.find(ticket);
-  return it == errors_.end() ? nullptr : &it->second;
+  return it == errors_.end() ? nullptr : &it->second.message;
 }
 
 std::optional<Chunk> Repository::read_chunk(std::uint32_t dataset_id,

@@ -19,6 +19,15 @@
 //   q.range = ...; q.aggregation = "sum-count-max";
 //   q.strategy = adr::StrategyKind::kAuto;
 //   adr::QueryResult r = repo.submit(q);
+//
+// Batch submission (the paper's planning service handles "a set of
+// queries"): submit_batch plans and executes a whole set, forming gangs
+// of queries over the same input dataset so shared input chunks are
+// fetched once per gang instead of once per query (see docs/batching.md):
+//
+//   std::vector<adr::SubmitRequest> batch = {{q1}, {q2}, {q3}};
+//   std::vector<adr::SubmitOutcome> outs = repo.submit_batch(batch);
+//   if (outs[0].status.ok()) use(outs[0].result);
 #pragma once
 
 #include <chrono>
@@ -37,10 +46,12 @@
 #include <vector>
 
 #include "common/fair_shared_mutex.hpp"
+#include "common/status.hpp"
 #include "core/aggregation.hpp"
 #include "core/attribute_space.hpp"
 #include "core/exec/exec_stats.hpp"
 #include "core/exec/query_executor.hpp"
+#include "core/planner/batch.hpp"
 #include "core/planner/planner.hpp"
 #include "core/query.hpp"
 #include "runtime/executor_pool.hpp"
@@ -49,6 +60,7 @@
 #include "storage/dataset.hpp"
 #include "storage/decluster.hpp"
 #include "storage/disk_store.hpp"
+#include "storage/shared_scan.hpp"
 
 namespace adr {
 
@@ -88,6 +100,11 @@ struct RepositoryConfig {
   /// disks).  0 disables the cache.  The simulated backend never caches:
   /// its I/O costs are modelled, not paid.
   std::uint64_t chunk_cache_bytes_per_node = 64ull * 1024 * 1024;
+  /// Byte cap on the gang shared-scan buffer submit_batch retains input
+  /// chunks in while fanning them out to gang members (thread backend;
+  /// see docs/batching.md).  0 disables batch read sharing — gang
+  /// members then execute like serial submits.
+  std::uint64_t batch_scan_bytes = 256ull * 1024 * 1024;
 
   int total_disks() const { return num_nodes * disks_per_node; }
 };
@@ -102,12 +119,35 @@ struct QueryResult {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
+  /// Batch execution attribution: the gang this query ran in (1 =
+  /// executed alone), reads served from the gang's shared-scan buffer
+  /// during this query's turn, and backing-store fetches it paid.
+  std::uint32_t gang_size = 1;
+  std::uint64_t gang_shared_hits = 0;
+  std::uint64_t gang_cold_reads = 0;
   ExecStats stats;
   /// Cost estimates per strategy when the query used kAuto.
   std::vector<std::pair<StrategyKind, CostEstimate>> estimates;
   /// Finalized output chunks, for OutputDelivery::kReturnToClient
   /// (sorted by chunk id).
   std::vector<Chunk> outputs;
+};
+
+/// One entry of a submit_batch call: a query plus its per-query compute
+/// charges and execution options.
+struct SubmitRequest {
+  Query query;
+  ComputeCosts costs;
+  ExecOptions options;
+};
+
+/// Structured per-query outcome of a batch submission: a typed status
+/// (never throws per member — one malformed query cannot sink its gang)
+/// plus the result when status.ok().
+struct SubmitOutcome {
+  Status status;
+  QueryResult result;
+  bool ok() const { return status.ok(); }
 };
 
 /// Thread safety: Repository serves concurrent clients.  The dataset
@@ -125,7 +165,7 @@ struct QueryResult {
 /// Registries (attribute spaces, aggregations, indices) are expected to be
 /// populated before concurrent serving starts; lookups are read-only.
 /// Per-query planner/executor state is entirely stack-local; the leased
-/// executor is exclusive to its query.
+/// executor is exclusive to its query or gang.
 class Repository {
  public:
   explicit Repository(const RepositoryConfig& config);
@@ -159,13 +199,26 @@ class Repository {
 
   /// Plans and executes a range query on the back-end.  Safe to call from
   /// many threads at once: each call plans and executes with stack-local
-  /// state while holding the catalog's shared lock.
+  /// state while holding the catalog's shared lock.  Throws on failure
+  /// (StatusError carries the typed code; see common/status.hpp).
   /// `costs` are the per-chunk compute charges for the simulated backend.
   QueryResult submit(const Query& query, const ComputeCosts& costs = {},
                      const ExecOptions& exec_options = {});
 
-  /// Plans and executes a batch of queries in submission order on the
-  /// back-end (the paper's planning service handles "a set of queries").
+  /// Plans and executes a set of queries (the paper's planning service
+  /// handles "a set of queries").  Requests over the same input
+  /// dataset(s) form a *gang*: each member keeps the exact plan, tiling
+  /// and output bytes it would get alone, but the gang executes over a
+  /// shared-scan buffer so an input chunk needed by several members is
+  /// fetched from storage once (thread backend; the simulated backend
+  /// and batch_scan_bytes == 0 execute members independently).  Member
+  /// outcomes are individually attributed and individually fallible —
+  /// outcomes[i] matches batch[i] in order.
+  std::vector<SubmitOutcome> submit_batch(const std::vector<SubmitRequest>& batch);
+
+  /// Convenience wrapper over submit_batch: shared costs/options, throws
+  /// the first member failure (after the whole batch has been attempted)
+  /// and otherwise returns results in submission order.
   std::vector<QueryResult> submit_all(const std::vector<Query>& queries,
                                       const ComputeCosts& costs = {},
                                       const ExecOptions& exec_options = {});
@@ -182,8 +235,36 @@ class Repository {
   std::size_t load_catalog(const std::filesystem::path& path);
 
  private:
+  /// Everything submit needs after catalog resolution: the datasets, the
+  /// resolved map/aggregation, and the plan request (caller holds the
+  /// catalog lock shared; the pointers stay valid while it does).
+  struct Prepared {
+    const Dataset* input = nullptr;
+    std::vector<const Dataset*> all_inputs;
+    const Dataset* output = nullptr;
+    const MapFunction* map = nullptr;
+    const AggregationOp* op = nullptr;
+    PlanRequest request;
+  };
+
+  Prepared prepare_locked(const Query& query, const ComputeCosts& costs) const;
+  /// Runs the planning service on a prepared query (metrics + trace
+  /// spans included); failures become StatusError{kPlanRejected}.
+  PlannedQuery plan_prepared(const Prepared& prepared) const;
+  /// Executes a planned query.  `gang_executor` non-null routes
+  /// execution through the gang's shared executor (batch path) instead
+  /// of the pool; per-query attribution is unchanged.
+  QueryResult execute_planned_locked(const Query& query, const Prepared& prepared,
+                                     PlannedQuery&& planned, const ComputeCosts& costs,
+                                     const ExecOptions& exec_options,
+                                     Executor* gang_executor);
   QueryResult submit_locked(const Query& query, const ComputeCosts& costs,
                             const ExecOptions& exec_options);
+  /// Executes one gang (>= 2 members, thread backend) over a shared-scan
+  /// buffer; writes each member's outcome into outcomes[indices[m]].
+  void run_gang_locked(const std::vector<SubmitRequest>& batch,
+                       const std::vector<std::size_t>& indices,
+                       std::vector<SubmitOutcome>& outcomes);
   ChunkStore& active_store() { return cache_ ? *cache_ : *store_; }
   const ChunkStore& active_store() const { return cache_ ? *cache_ : *store_; }
   /// Lazily creates the shared executor pool (thread backend only).
@@ -220,10 +301,29 @@ class Repository {
 ///    applies back-pressure: it blocks while `max_pending` accepted
 ///    queries are still queued or running.
 ///
-/// wait(ticket) blocks for one result; drain() blocks until everything
-/// accepted so far has finished; stop() drains and joins the workers.
+/// Gang formation (worker pool only): a worker that pops a query scans
+/// the queue for more queries over the same input dataset(s) with
+/// overlapping ranges and a compatible strategy, optionally waiting a
+/// short formation window for stragglers, and submits them as one batch
+/// (Repository::submit_batch) so shared input chunks are fetched once.
+/// Lanes stay FIFO: only the earliest runnable query of each client can
+/// join a gang, and an examined-but-unsuitable query blocks its lane's
+/// later queries from overtaking it.  See docs/batching.md.
+///
+/// take(ticket)/try_take(ticket) retrieve one result and release its
+/// slot; drain() blocks until everything accepted so far has finished;
+/// stop() drains and joins the workers.
 class QuerySubmissionService {
  public:
+  /// Gang formation policy (see class comment).  window == 0 still
+  /// gangs queries that are already queued together; a positive window
+  /// also waits for near-simultaneous arrivals.
+  struct GangPolicy {
+    bool enabled = true;
+    std::size_t max_gang = 8;
+    std::chrono::microseconds window{0};
+  };
+
   explicit QuerySubmissionService(Repository& repository,
                                   std::size_t max_pending = 1024)
       : repository_(&repository), max_pending_(max_pending) {}
@@ -238,39 +338,50 @@ class QuerySubmissionService {
   /// Drains accepted work and joins the workers (no-op when not started).
   void stop();
 
+  /// Replaces the gang formation policy (call before start()).
+  void set_gang_policy(const GangPolicy& policy);
+  GangPolicy gang_policy() const;
+
   /// Enqueues a query; the returned ticket retrieves its result later.
   /// Queries with the same `client_id` execute in FIFO order relative to
   /// each other.  Blocks for a free slot when the pool is saturated.
+  /// `options` travel with the query to execution (output delivery,
+  /// pipelining, tracing — see ExecOptions).
   std::uint64_t enqueue(Query query, ComputeCosts costs = {},
-                        std::uint64_t client_id = 0);
+                        std::uint64_t client_id = 0, ExecOptions options = {});
 
   /// Non-blocking enqueue: returns 0 instead of waiting when max_pending
   /// accepted queries are already queued or running (the server turns
   /// this into a protocol-level "server busy" refusal).
   std::uint64_t try_enqueue(Query query, ComputeCosts costs = {},
-                            std::uint64_t client_id = 0);
+                            std::uint64_t client_id = 0, ExecOptions options = {});
 
-  /// A finished query's outcome, moved out of the service.
+  /// A finished query's outcome, moved out of the service: a typed
+  /// status plus the result when status.ok().
   struct Outcome {
-    bool ok = false;
-    QueryResult result;  // valid when ok
-    std::string error;   // set when !ok
+    Status status;
+    QueryResult result;  // valid when status.ok()
+    bool ok() const { return status.ok(); }
   };
 
-  /// Blocks until the ticket's query finishes, then removes its result
-  /// (or error) from the service and returns it.  Unlike wait()/result(),
-  /// the service retains nothing afterwards — the call long-running
-  /// servers use so the results map cannot grow without bound.
+  /// Blocks until the ticket's query finishes, then removes its outcome
+  /// from the service and returns it.  Unlike the deprecated
+  /// wait()/result() accessors the service retains nothing afterwards,
+  /// so a long-running server's results map cannot grow without bound.
+  /// An unknown or already-taken ticket returns a kNotFound outcome
+  /// immediately.  Note: a ticket accepted but never dispatched (no
+  /// pool running and no process_all() in sight) blocks until someone
+  /// runs it — use try_take() when polling.
   Outcome take(std::uint64_t ticket);
+
+  /// Non-blocking take: nullopt while the ticket's query is still
+  /// queued or running; otherwise exactly take().
+  std::optional<Outcome> try_take(std::uint64_t ticket);
 
   /// Runs every pending query in FIFO order on this thread when no pool
   /// is running; with a pool, equivalent to drain().  Returns how many
   /// queries finished during this call.
   std::size_t process_all();
-
-  /// Blocks until the ticket's query finishes; returns its result, or
-  /// nullptr if the ticket is unknown or its query failed (see error()).
-  const QueryResult* wait(std::uint64_t ticket);
 
   /// Blocks until all accepted work has finished; returns how many
   /// queries finished during this call.
@@ -279,11 +390,23 @@ class QuerySubmissionService {
   /// Queued plus in-flight queries.
   std::size_t pending() const;
 
+  /// Blocks until the ticket's query finishes; returns its result, or
+  /// nullptr if the ticket is unknown or its query failed.
+  /// Deprecated: results accumulate in the service for its lifetime —
+  /// use take()/try_take(), which release the slot.
+  [[deprecated("unbounded retention; use take()/try_take()")]]
+  const QueryResult* wait(std::uint64_t ticket);
+
   /// Result for a ticket, or nullptr if unknown / not yet processed /
   /// failed.  The pointer stays valid for the service's lifetime.
+  /// Deprecated: unbounded retention — use try_take().
+  [[deprecated("unbounded retention; use take()/try_take()")]]
   const QueryResult* result(std::uint64_t ticket) const;
 
   /// Error text for a failed ticket, or nullptr.
+  /// Deprecated: unbounded retention — use take()/try_take(), whose
+  /// Outcome carries the typed Status.
+  [[deprecated("unbounded retention; use take()/try_take()")]]
   const std::string* error(std::uint64_t ticket) const;
 
  private:
@@ -292,6 +415,7 @@ class QuerySubmissionService {
     std::uint64_t client;
     Query query;
     ComputeCosts costs;
+    ExecOptions options;
     /// Accept time, for the enqueue-to-dispatch wait histogram and the
     /// "queued" trace span.
     std::chrono::steady_clock::time_point enqueued_at{};
@@ -300,9 +424,21 @@ class QuerySubmissionService {
 
   void worker_loop();
   void run_one(Pending&& p);
+  void run_gang(std::vector<Pending>&& gang);
   // Pops the earliest queued query whose client lane is idle (caller
   // holds mutex_); marks the lane busy.
   bool pop_runnable(Pending& out);
+  // Moves queued queries that can join `leader`'s gang out of the queue
+  // (caller holds mutex_); marks their lanes busy.  Respects lane FIFO:
+  // an examined-but-unsuitable query blocks its client's later queries.
+  void form_gang_locked(std::vector<Pending>& gang);
+  // Records one finished outcome and frees its lane (caller holds mutex_).
+  void finish_locked(std::uint64_t ticket, std::uint64_t client, Outcome&& outcome);
+  // True while the ticket is accepted but unfinished: queued or running
+  // (caller holds mutex_).  Lets take()/try_take() distinguish "still in
+  // flight" from "already taken" — a drained ticket is kNotFound, never
+  // a wait that can't end.
+  bool ticket_pending_locked(std::uint64_t ticket) const;
 
   Repository* repository_;
   const std::size_t max_pending_;
@@ -312,12 +448,16 @@ class QuerySubmissionService {
   std::condition_variable done_cv_;  // waiters: a query finished
   std::vector<std::thread> workers_;
   bool stopping_ = false;
+  GangPolicy gang_policy_;
   std::deque<Pending> queue_;
   std::unordered_set<std::uint64_t> busy_clients_;
+  /// Tickets dispatched to a worker (or process_all) and not yet
+  /// finished; paired with queue_ scans by ticket_pending_locked().
+  std::unordered_set<std::uint64_t> running_;
   std::size_t in_flight_ = 0;
   std::uint64_t completed_ = 0;
   std::map<std::uint64_t, QueryResult> results_;
-  std::map<std::uint64_t, std::string> errors_;
+  std::map<std::uint64_t, Status> errors_;
   std::uint64_t next_ticket_ = 1;
 };
 

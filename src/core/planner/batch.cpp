@@ -1,0 +1,80 @@
+#include "core/planner/batch.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "storage/dataset.hpp"
+
+namespace adr {
+
+BatchSharedPlan build_batch_shared_plan(
+    const std::vector<const PlannedQuery*>& members,
+    const std::vector<std::vector<const Dataset*>>& member_inputs) {
+  BatchSharedPlan shared;
+  int max_tiles = 0;
+  for (const PlannedQuery* pq : members) {
+    max_tiles = std::max(max_tiles, pq->plan.num_tiles);
+    shared.total_member_reads += pq->plan.total_reads;
+  }
+  shared.tiles.resize(static_cast<std::size_t>(max_tiles));
+
+  std::unordered_set<ChunkId, ChunkIdHash> seen_anywhere;
+  for (int tile = 0; tile < max_tiles; ++tile) {
+    BatchTile& bt = shared.tiles[static_cast<std::size_t>(tile)];
+    std::unordered_map<ChunkId, std::size_t, ChunkIdHash> row_of;
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      const PlannedQuery& pq = *members[m];
+      if (tile >= pq.plan.num_tiles) continue;  // member already done
+      const std::vector<const Dataset*>& inputs = member_inputs[m];
+      auto meta_of = [&](std::uint32_t pos) -> const ChunkMeta& {
+        const std::size_t ordinal =
+            pq.input_dataset_of.empty() ? 0 : pq.input_dataset_of[pos];
+        return inputs[ordinal]->chunk(pq.selected_inputs[pos]);
+      };
+      for (const auto& node_tiles : pq.plan.node_tiles) {
+        const NodeTilePlan& tp = node_tiles[static_cast<std::size_t>(tile)];
+        for (std::uint32_t pos : tp.reads) {
+          const ChunkMeta& meta = meta_of(pos);
+          auto [it, inserted] = row_of.try_emplace(meta.id, bt.reads.size());
+          if (inserted) {
+            bt.reads.push_back(BatchSharedRead{meta.id, meta.disk, meta.bytes, {}});
+          }
+          BatchSharedRead& row = bt.reads[it->second];
+          // A member reads a chunk at most once per tile (reads are
+          // local to the chunk's one disk), so the back-check suffices.
+          const auto ordinal = static_cast<std::uint16_t>(m);
+          if (row.members.empty() || row.members.back() != ordinal) {
+            row.members.push_back(ordinal);
+          }
+          if (seen_anywhere.insert(meta.id).second) {
+            ++shared.unique_chunks;
+            shared.unique_bytes += meta.bytes;
+          }
+        }
+      }
+    }
+  }
+  return shared;
+}
+
+BatchPlan plan_batch(const std::vector<PlanRequest>& requests) {
+  BatchPlan batch;
+  batch.members.reserve(requests.size());
+  std::vector<std::vector<const Dataset*>> member_inputs;
+  member_inputs.reserve(requests.size());
+  for (const PlanRequest& request : requests) {
+    batch.members.push_back(plan_query(request));
+    std::vector<const Dataset*> inputs = {request.input};
+    inputs.insert(inputs.end(), request.extra_inputs.begin(),
+                  request.extra_inputs.end());
+    member_inputs.push_back(std::move(inputs));
+  }
+  std::vector<const PlannedQuery*> member_ptrs;
+  member_ptrs.reserve(batch.members.size());
+  for (const PlannedQuery& pq : batch.members) member_ptrs.push_back(&pq);
+  batch.shared = build_batch_shared_plan(member_ptrs, member_inputs);
+  return batch;
+}
+
+}  // namespace adr

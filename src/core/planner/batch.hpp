@@ -1,0 +1,85 @@
+// Batch-aware query planning (the paper's planning service takes "a set
+// of queries", not one at a time).
+//
+// A *gang* is a set of queries over the same input dataset(s) whose
+// ranges overlap: their individual plans read many of the same input
+// chunks, so executing them independently pays the cold storage fetch
+// once per member.  plan_batch keeps every member's plan exactly what
+// plan_query would produce for it alone — member execution, tiling and
+// outputs are byte-identical to serial submission — and additionally
+// computes a *shared tiling*: members step their tiles in lockstep, and
+// for each lockstep tile the batch plan holds the union of the members'
+// input-chunk I/O lists.  The gang executor (Repository::submit_batch)
+// fetches each chunk in a tile's union once and fans it out to every
+// member that needs it, using the per-chunk use counts derived here to
+// know how long a fetched chunk must stay resident.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/planner/planner.hpp"
+#include "storage/chunk.hpp"
+
+namespace adr {
+
+/// One distinct input chunk in a lockstep tile's union I/O list, plus
+/// the members that read it during that tile.
+struct BatchSharedRead {
+  ChunkId id;
+  int disk = 0;
+  std::uint64_t bytes = 0;
+  /// Member ordinals (into BatchPlan::members) reading this chunk in
+  /// this lockstep tile; each member reads a chunk at most once per tile.
+  std::vector<std::uint16_t> members;
+};
+
+/// Union I/O list for one lockstep tile step.
+struct BatchTile {
+  std::vector<BatchSharedRead> reads;
+};
+
+/// The shared-scan schedule for a gang: per-tile unions plus the
+/// aggregate accounting the executor and the metrics need.
+struct BatchSharedPlan {
+  /// tiles[t] = union of member reads at lockstep tile t (t indexes up
+  /// to the longest member's tile count; shorter members simply stop
+  /// contributing).
+  std::vector<BatchTile> tiles;
+
+  /// Total chunk-read operations the members will issue (sum of member
+  /// plan total_reads; includes FRA-style re-reads across tiles).
+  std::uint64_t total_member_reads = 0;
+  /// Distinct input chunks across the whole gang — the cold fetches a
+  /// perfectly shared scan pays.
+  std::uint64_t unique_chunks = 0;
+  std::uint64_t unique_bytes = 0;
+
+  /// Reads the shared scan saves versus independent execution.
+  std::uint64_t saved_reads() const {
+    return total_member_reads - unique_chunks;
+  }
+};
+
+/// A planned gang: per-member plans (identical to serial planning) plus
+/// the shared-scan schedule across them.
+struct BatchPlan {
+  std::vector<PlannedQuery> members;
+  BatchSharedPlan shared;
+};
+
+/// Computes the shared-scan schedule for already-planned members.
+/// `member_inputs[m]` lists member m's input datasets in the order its
+/// plan's input ordinals refer to (as passed to execute_query).
+BatchSharedPlan build_batch_shared_plan(
+    const std::vector<const PlannedQuery*>& members,
+    const std::vector<std::vector<const Dataset*>>& member_inputs);
+
+/// Plans every request individually (exactly plan_query) and derives the
+/// shared-scan schedule.  All requests should target the same input
+/// dataset(s) for the union to be meaningful, but this is not enforced:
+/// disjoint members simply share nothing.  Throws what plan_query throws
+/// if any member is malformed.
+BatchPlan plan_batch(const std::vector<PlanRequest>& requests);
+
+}  // namespace adr

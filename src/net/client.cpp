@@ -29,9 +29,9 @@ AdrClient::~AdrClient() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-WireResult AdrClient::submit(const Query& query) {
+WireResult AdrClient::submit(const Query& query, const ExecOptions& options) {
   if (fd_ < 0) throw std::runtime_error("AdrClient: not connected");
-  if (!write_frame(fd_, encode_query(query))) {
+  if (!write_frame(fd_, encode_query(query, options))) {
     throw std::runtime_error("AdrClient: send failed");
   }
   std::vector<std::byte> payload;

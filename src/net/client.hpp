@@ -21,13 +21,14 @@ class AdrClient {
   AdrClient(const AdrClient&) = delete;
   AdrClient& operator=(const AdrClient&) = delete;
 
-  /// Sends the query and waits for the result.  Throws WireError /
-  /// std::runtime_error on protocol or transport failure; a server-side
-  /// query failure comes back as WireResult{ok=false, error}.  A
-  /// saturated server answers WireResult{ok=false, "server busy"}
-  /// (check server_busy()) and closes the connection — connected()
-  /// turns false; reconnect and retry after result.retry_after_ms.
-  WireResult submit(const Query& query);
+  /// Sends the query (with its execution options, wire v4) and waits
+  /// for the result.  Throws WireError / std::runtime_error on protocol
+  /// or transport failure; a server-side query failure comes back as a
+  /// WireResult whose status carries the typed code and message.  A
+  /// saturated server answers with status code kBusy (check
+  /// server_busy()) and closes the connection — connected() turns
+  /// false; reconnect and retry after result.retry_after_ms.
+  WireResult submit(const Query& query, const ExecOptions& options = {});
 
   /// Asks the live server for its observability snapshot (wire v3):
   /// metrics_json is the obs registry rendered as JSON; trace_json is

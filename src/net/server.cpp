@@ -199,8 +199,7 @@ std::uint32_t AdrServer::retry_after_hint_ms() const {
 
 void AdrServer::refuse_with_busy_frame(int fd) {
   WireResult busy;
-  busy.ok = false;
-  busy.error = kServerBusyError;
+  busy.status = Status::make(StatusCode::kBusy, kServerBusyError);
   busy.retry_after_ms = retry_after_hint_ms();
   write_frame(fd, encode_result(busy));
   // Graceful close: half-close our side, then drain whatever the client
@@ -250,32 +249,31 @@ void AdrServer::serve_connection(Conn* conn) {
     WireResult result;
     std::uint64_t ticket = 0;
     try {
-      const Query query = decode_query(payload);
-      ticket = scheduler_.try_enqueue(query, costs_, client_id);
+      // The exec options decoded from the frame travel with the query
+      // through the scheduler to execution.
+      const WireQuery wq = decode_query_frame(payload);
+      ticket = scheduler_.try_enqueue(wq.query, costs_, client_id, wq.options);
       if (ticket == 0) {
         // Scheduler saturated: protocol-level refusal, then close.
         ++queries_refused_;
         server_metrics().queries_refused.add();
         ADR_WARN("server: scheduler full, refusing query on fd=" << fd);
-        result.ok = false;
-        result.error = kServerBusyError;
+        result.status = Status::make(StatusCode::kBusy, kServerBusyError);
         result.retry_after_ms = retry_after_hint_ms();
         refused_busy = true;
       } else {
         QuerySubmissionService::Outcome outcome = scheduler_.take(ticket);
-        if (outcome.ok) {
+        if (outcome.ok()) {
           result = to_wire_result(outcome.result);
           ++served_;
           server_metrics().queries_served.add();
         } else {
-          result.ok = false;
-          result.error = outcome.error;
-          ADR_WARN("server: query failed: " << outcome.error);
+          result.status = std::move(outcome.status);
+          ADR_WARN("server: query failed: " << result.status.to_string());
         }
       }
     } catch (const std::exception& e) {
-      result.ok = false;
-      result.error = e.what();
+      result.status = status_from_exception(e);
       ADR_WARN("server: query failed: " << e.what());
     }
     const bool tracing = obs::tracer().enabled();

@@ -9,11 +9,18 @@ constexpr std::uint8_t kQueryTag = 0x51;        // 'Q'
 constexpr std::uint8_t kResultTag = 0x52;       // 'R'
 constexpr std::uint8_t kStatsRequestTag = 0x53; // 'S'
 constexpr std::uint8_t kStatsReplyTag = 0x54;   // 'T'
-// v3: result frames carry a retry-after hint; stats frames exist.
-constexpr std::uint8_t kVersion = 3;
+// v4: result frames carry a typed status code, query frames carry exec
+// options (see the version map in wire.hpp).
+constexpr std::uint8_t kVersion = 4;
 // Query/result bodies are unchanged since v2 except for appended
-// fields, so v2 frames still decode (see the version map in wire.hpp).
+// fields, so v2/v3 frames still decode (see the version map in wire.hpp).
 constexpr std::uint8_t kMinVersion = 2;
+
+// Exec-option flag bits (v4 query frames).
+constexpr std::uint8_t kOptInitFromOutput = 1u << 0;
+constexpr std::uint8_t kOptWriteOutput = 1u << 1;
+constexpr std::uint8_t kOptPipelineTiles = 1u << 2;
+constexpr std::uint8_t kOptRecordTrace = 1u << 3;
 
 std::uint8_t check_version(Reader& r) {
   const std::uint8_t version = r.u8();
@@ -23,9 +30,22 @@ std::uint8_t check_version(Reader& r) {
   return version;
 }
 
+// Pre-v4 frames carry only (ok, message): recover the intended code
+// from the message the old encoder used for protocol-level refusals.
+StatusCode infer_status_code(bool ok, const std::string& error) {
+  if (ok) return StatusCode::kOk;
+  if (error == kServerBusyError) return StatusCode::kBusy;
+  return StatusCode::kInternal;
+}
+
 }  // namespace
 
 void Writer::u8(std::uint8_t v) { buffer_.push_back(static_cast<std::byte>(v)); }
+
+void Writer::u16(std::uint16_t v) {
+  buffer_.push_back(static_cast<std::byte>(v & 0xff));
+  buffer_.push_back(static_cast<std::byte>((v >> 8) & 0xff));
+}
 
 void Writer::u32(std::uint32_t v) {
   for (int i = 0; i < 4; ++i) {
@@ -68,6 +88,15 @@ void Reader::need(std::size_t n) const {
 std::uint8_t Reader::u8() {
   need(1);
   return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint16_t Reader::u16() {
+  need(2);
+  std::uint16_t v = static_cast<std::uint8_t>(data_[pos_]);
+  v = static_cast<std::uint16_t>(
+      v | (static_cast<std::uint16_t>(static_cast<std::uint8_t>(data_[pos_ + 1])) << 8));
+  pos_ += 2;
+  return v;
 }
 
 std::uint32_t Reader::u32() {
@@ -122,7 +151,7 @@ Rect Reader::rect() {
   return Rect(lo, hi);
 }
 
-std::vector<std::byte> encode_query(const Query& query) {
+std::vector<std::byte> encode_query(const Query& query, const ExecOptions& options) {
   Writer w;
   w.u8(kQueryTag);
   w.u8(kVersion);
@@ -138,14 +167,24 @@ std::vector<std::byte> encode_query(const Query& query) {
   w.u8(static_cast<std::uint8_t>(query.delivery));
   w.u8(query.write_output ? 1 : 0);
   w.u64(query.seed);
+  // v4: the exec options travel with the query (output_sink is a local
+  // callback and cannot cross the wire).
+  std::uint8_t flags = 0;
+  if (options.init_from_output) flags |= kOptInitFromOutput;
+  if (options.write_output) flags |= kOptWriteOutput;
+  if (options.pipeline_tiles) flags |= kOptPipelineTiles;
+  if (options.record_trace) flags |= kOptRecordTrace;
+  w.u8(flags);
+  w.f64(options.comm_cpu_bytes_per_sec);
   return w.take();
 }
 
-Query decode_query(std::span<const std::byte> payload) {
+WireQuery decode_query_frame(std::span<const std::byte> payload) {
   Reader r(payload);
   if (r.u8() != kQueryTag) throw WireError("wire: not a query frame");
-  check_version(r);
-  Query q;
+  const std::uint8_t version = check_version(r);
+  WireQuery wq;
+  Query& q = wq.query;
   q.input_dataset = r.u32();
   const std::uint32_t extras = r.u32();
   if (extras > 1024) throw WireError("wire: implausible extra-input count");
@@ -159,8 +198,20 @@ Query decode_query(std::span<const std::byte> payload) {
   q.delivery = static_cast<OutputDelivery>(r.u8());
   q.write_output = r.u8() != 0;
   q.seed = r.u64();
+  if (version >= 4) {
+    const std::uint8_t flags = r.u8();
+    wq.options.init_from_output = (flags & kOptInitFromOutput) != 0;
+    wq.options.write_output = (flags & kOptWriteOutput) != 0;
+    wq.options.pipeline_tiles = (flags & kOptPipelineTiles) != 0;
+    wq.options.record_trace = (flags & kOptRecordTrace) != 0;
+    wq.options.comm_cpu_bytes_per_sec = r.f64();
+  }
   if (!r.done()) throw WireError("wire: trailing bytes after query");
-  return q;
+  return wq;
+}
+
+Query decode_query(std::span<const std::byte> payload) {
+  return decode_query_frame(payload).query;
 }
 
 WireResult to_wire_result(const QueryResult& result) {
@@ -181,8 +232,8 @@ std::vector<std::byte> encode_result(const WireResult& result) {
   Writer w;
   w.u8(kResultTag);
   w.u8(kVersion);
-  w.u8(result.ok ? 1 : 0);
-  w.str(result.error);
+  w.u8(result.ok() ? 1 : 0);
+  w.str(result.status.message);
   w.u8(static_cast<std::uint8_t>(result.strategy));
   w.u32(static_cast<std::uint32_t>(result.tiles));
   w.u64(result.ghost_chunks);
@@ -191,7 +242,8 @@ std::vector<std::byte> encode_result(const WireResult& result) {
   w.u64(result.bytes_communicated);
   w.u64(result.cache_hits);
   w.u64(result.cache_misses);
-  w.u32(result.retry_after_ms);  // v3
+  w.u32(result.retry_after_ms);                               // v3
+  w.u16(static_cast<std::uint16_t>(result.status.code));     // v4
   w.u32(static_cast<std::uint32_t>(result.outputs.size()));
   for (const Chunk& chunk : result.outputs) {
     w.u32(chunk.meta().id.dataset);
@@ -208,8 +260,8 @@ WireResult decode_result(std::span<const std::byte> payload) {
   if (r.u8() != kResultTag) throw WireError("wire: not a result frame");
   const std::uint8_t version = check_version(r);
   WireResult out;
-  out.ok = r.u8() != 0;
-  out.error = r.str();
+  const bool ok = r.u8() != 0;
+  std::string error = r.str();
   out.strategy = static_cast<StrategyKind>(r.u8());
   out.tiles = static_cast<int>(r.u32());
   out.ghost_chunks = r.u64();
@@ -219,6 +271,18 @@ WireResult decode_result(std::span<const std::byte> payload) {
   out.cache_hits = r.u64();
   out.cache_misses = r.u64();
   if (version >= 3) out.retry_after_ms = r.u32();
+  StatusCode code = infer_status_code(ok, error);
+  if (version >= 4) {
+    const auto wire_code = static_cast<StatusCode>(r.u16());
+    // The ok flag stays authoritative: a v4 peer disagreeing with its
+    // own code byte decodes to a consistent status either way.
+    if (ok) {
+      code = StatusCode::kOk;
+    } else if (wire_code != StatusCode::kOk) {
+      code = wire_code;
+    }
+  }
+  out.status = ok ? Status::make_ok() : Status::make(code, std::move(error));
   const std::uint32_t n = r.u32();
   for (std::uint32_t i = 0; i < n; ++i) {
     ChunkMeta meta;

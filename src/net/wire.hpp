@@ -16,9 +16,13 @@
 //   v3  result frames carry a retry-after hint on "server busy"
 //       refusals, and the stats request/reply frames exist (a JSON
 //       metrics snapshot plus an optional Chrome trace export)
-// Encoders emit v3; query/result decoders also accept v2 frames (the
-// v3-only fields default to zero), so a v2 peer can still talk to this
-// build.  Stats frames are v3-only.
+//   v4  result frames carry a typed StatusCode (u16) and query frames
+//       carry the ExecOptions the query should execute with (flag byte
+//       + comm-CPU rate; the output_sink callback is not serialized)
+// Encoders emit v4; query/result decoders also accept v2/v3 frames —
+// missing fields default (exec options to their defaults, and the
+// status code is inferred from the ok flag and the "server busy"
+// message).  Stats frames are v3+.
 #pragma once
 
 #include <cstddef>
@@ -47,8 +51,14 @@ inline constexpr const char* kServerBusyError = "server busy";
 
 /// The client-facing view of a query result.
 struct WireResult {
-  bool ok = true;
-  std::string error;  // set when !ok
+  /// Typed outcome: code + message.  v4 peers carry the code on the
+  /// wire; for v2/v3 frames the decoder infers it (ok flag, "server
+  /// busy" message -> kBusy, any other error -> kInternal).
+  Status status;
+
+  bool ok() const { return status.ok(); }
+  /// Failure message (empty when ok).
+  const std::string& error() const { return status.message; }
 
   StrategyKind strategy = StrategyKind::kFRA;
   int tiles = 0;
@@ -68,13 +78,23 @@ struct WireResult {
   /// True when the server refused the query because it is saturated;
   /// retry after retry_after_ms (possibly on a new connection — the
   /// server closes the refused connection after this frame).
-  bool server_busy() const { return !ok && error == kServerBusyError; }
+  bool server_busy() const { return status.code == StatusCode::kBusy; }
 };
 
 /// Builds the client view from a repository result.
 WireResult to_wire_result(const QueryResult& result);
 
-std::vector<std::byte> encode_query(const Query& query);
+/// A decoded query frame: the query plus the execution options it asked
+/// for (v4; older frames decode with default options).
+struct WireQuery {
+  Query query;
+  ExecOptions options;
+};
+
+std::vector<std::byte> encode_query(const Query& query,
+                                    const ExecOptions& options = {});
+WireQuery decode_query_frame(std::span<const std::byte> payload);
+/// Compatibility shim: decodes a query frame, discarding the options.
 Query decode_query(std::span<const std::byte> payload);
 
 std::vector<std::byte> encode_result(const WireResult& result);
@@ -108,6 +128,7 @@ WireStatsReply decode_stats_reply(std::span<const std::byte> payload);
 class Writer {
  public:
   void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
   void u32(std::uint32_t v);
   void u64(std::uint64_t v);
   void f64(double v);
@@ -126,6 +147,7 @@ class Reader {
   explicit Reader(std::span<const std::byte> data) : data_(data) {}
 
   std::uint8_t u8();
+  std::uint16_t u16();
   std::uint32_t u32();
   std::uint64_t u64();
   double f64();

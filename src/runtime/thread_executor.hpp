@@ -60,6 +60,13 @@ class ThreadExecutor : public Executor {
 
   int node_of_disk(int global_disk) const { return global_disk / disks_per_node_; }
 
+  /// Rebinds the store reads and writes go through.  Only valid between
+  /// runs (the completed-run handshake orders it against the previous
+  /// run's node tasks): the batch path points a leased warm executor at
+  /// its gang's shared-scan buffer, then restores the farm afterwards.
+  void set_store(ChunkStore* store) { store_ = store; }
+  ChunkStore* store() const { return store_; }
+
   /// Completed run() calls on this pool of threads (executor-reuse
   /// observability: threads are spawned once, runs accumulate).
   std::uint64_t completed_runs() const;

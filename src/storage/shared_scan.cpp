@@ -1,0 +1,105 @@
+#include "storage/shared_scan.hpp"
+
+#include <algorithm>
+
+namespace adr {
+
+SharedScanStore::SharedScanStore(ChunkStore& backing, std::uint64_t max_bytes)
+    : backing_(&backing), max_bytes_(max_bytes) {}
+
+void SharedScanStore::add_planned_uses(ChunkId id, std::uint32_t uses) {
+  if (uses == 0) return;
+  std::lock_guard lock(mutex_);
+  planned_[id] += uses;
+}
+
+std::optional<Chunk> SharedScanStore::get(int disk, ChunkId id) const {
+  std::unique_lock lock(mutex_);
+  if (auto it = retained_.find(id); it != retained_.end()) {
+    ++stats_.shared_hits;
+    Chunk copy = it->second.chunk;
+    if (--it->second.remaining == 0) {
+      stats_.resident_bytes -= it->second.chunk.payload().size();
+      retained_.erase(it);
+    }
+    return copy;
+  }
+
+  auto planned = planned_.find(id);
+  if (planned == planned_.end() || planned->second == 0) {
+    ++stats_.passthrough;
+    lock.unlock();
+    return backing_->get(disk, id);
+  }
+
+  // First planned reader: pay the cold fetch, keep the chunk resident
+  // for the remaining readers (unless the buffer is at its cap).
+  const std::uint32_t uses = planned->second;
+  planned_.erase(planned);
+  ++stats_.cold_fetches;
+  // Holding the mutex across the backing fetch keeps a second reader of
+  // the same chunk from double-fetching; different chunks only contend
+  // for the map, not the I/O (the backing store has its own locking).
+  std::optional<Chunk> chunk = backing_->get(disk, id);
+  if (!chunk.has_value()) return chunk;
+  if (uses > 1) {
+    const std::uint64_t charge = chunk->payload().size();
+    if (max_bytes_ != 0 && stats_.resident_bytes + charge > max_bytes_) {
+      // Over budget: later readers refetch.  Re-register them so each
+      // still gets counted (and retained once memory frees up).
+      ++stats_.cap_rejections;
+      planned_[id] = uses - 1;
+    } else {
+      retained_.emplace(id, Entry{*chunk, uses - 1});
+      stats_.resident_bytes += charge;
+      stats_.peak_resident_bytes =
+          std::max(stats_.peak_resident_bytes, stats_.resident_bytes);
+    }
+  }
+  return chunk;
+}
+
+void SharedScanStore::put(Chunk chunk) {
+  {
+    std::lock_guard lock(mutex_);
+    if (auto it = retained_.find(chunk.meta().id); it != retained_.end()) {
+      stats_.resident_bytes -= it->second.chunk.payload().size();
+      stats_.resident_bytes += chunk.payload().size();
+      stats_.peak_resident_bytes =
+          std::max(stats_.peak_resident_bytes, stats_.resident_bytes);
+      it->second.chunk = chunk;
+    }
+  }
+  backing_->put(std::move(chunk));
+}
+
+bool SharedScanStore::contains(int disk, ChunkId id) const {
+  return backing_->contains(disk, id);
+}
+
+bool SharedScanStore::erase(int disk, ChunkId id) {
+  {
+    std::lock_guard lock(mutex_);
+    if (auto it = retained_.find(id); it != retained_.end()) {
+      stats_.resident_bytes -= it->second.chunk.payload().size();
+      retained_.erase(it);
+    }
+    planned_.erase(id);
+  }
+  return backing_->erase(disk, id);
+}
+
+std::size_t SharedScanStore::chunk_count(int disk) const {
+  return backing_->chunk_count(disk);
+}
+
+std::uint64_t SharedScanStore::bytes_on_disk(int disk) const {
+  return backing_->bytes_on_disk(disk);
+}
+
+SharedScanStats SharedScanStore::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace adr

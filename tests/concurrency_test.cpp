@@ -174,9 +174,11 @@ TEST(SubmissionPool, ConcurrentTicketsMatchSerialBaseline) {
         q % kVariants);
   }
   for (const auto& [ticket, q] : tickets) {
-    const QueryResult* r = service.wait(ticket);
-    ASSERT_NE(r, nullptr) << "ticket " << ticket;
-    expect_same_outputs(r->outputs, baseline[static_cast<std::size_t>(q)].outputs,
+    const QuerySubmissionService::Outcome outcome = service.take(ticket);
+    ASSERT_TRUE(outcome.ok()) << "ticket " << ticket << ": "
+                              << outcome.status.to_string();
+    expect_same_outputs(outcome.result.outputs,
+                        baseline[static_cast<std::size_t>(q)].outputs,
                         "ticket " + std::to_string(ticket));
   }
   EXPECT_EQ(service.pending(), 0u);
@@ -251,15 +253,15 @@ TEST(SubmissionPool, FifoPerClientWhileOtherClientsProceed) {
 
   // Client 2 is independent: its query finishes while client 1's lane is
   // still blocked at the gate.
-  ASSERT_NE(service.wait(ty), nullptr);
+  ASSERT_TRUE(service.take(ty).ok());
   std::this_thread::sleep_for(std::chrono::milliseconds(50));
-  EXPECT_EQ(service.result(tx1), nullptr);  // still gated
-  EXPECT_EQ(service.result(tx2), nullptr);  // must not overtake its lane
+  EXPECT_FALSE(service.try_take(tx1).has_value());  // still gated
+  EXPECT_FALSE(service.try_take(tx2).has_value());  // must not overtake its lane
   EXPECT_EQ(service.pending(), 2u);
 
   gate->release();
-  ASSERT_NE(service.wait(tx1), nullptr);
-  ASSERT_NE(service.wait(tx2), nullptr);
+  ASSERT_TRUE(service.take(tx1).ok());
+  ASSERT_TRUE(service.take(tx2).ok());
   EXPECT_EQ(service.pending(), 0u);
   service.stop();
 }
@@ -305,11 +307,13 @@ TEST(SubmissionPool, FailedQueryYieldsErrorNotResult) {
   bad.aggregation = "no-such-op";
   const auto t_bad = service.enqueue(bad, {}, 1);
   const auto t_good = service.enqueue(variant_query(in, out, 0), {}, 1);
-  EXPECT_EQ(service.wait(t_bad), nullptr);
-  ASSERT_NE(service.error(t_bad), nullptr);
-  EXPECT_NE(service.error(t_bad)->find("unknown aggregation"), std::string::npos);
+  const QuerySubmissionService::Outcome outcome = service.take(t_bad);
+  EXPECT_FALSE(outcome.ok());
+  // A malformed query gets the typed argument code, not a generic error.
+  EXPECT_EQ(outcome.status.code, StatusCode::kInvalidArgument);
+  EXPECT_NE(outcome.status.message.find("unknown aggregation"), std::string::npos);
   // The lane survives the failure.
-  EXPECT_NE(service.wait(t_good), nullptr);
+  EXPECT_TRUE(service.take(t_good).ok());
   service.stop();
 }
 
@@ -324,8 +328,8 @@ TEST(SubmissionPool, SerialProcessAllStillWorks) {
   EXPECT_EQ(service.pending(), 2u);
   EXPECT_EQ(service.process_all(), 2u);
   EXPECT_EQ(service.pending(), 0u);
-  EXPECT_NE(service.result(t1), nullptr);
-  EXPECT_NE(service.result(t2), nullptr);
+  EXPECT_TRUE(service.take(t1).ok());
+  EXPECT_TRUE(service.take(t2).ok());
 }
 
 // ------------------------------------------------------- socket server
@@ -365,7 +369,7 @@ TEST(ConcurrentServer, EightClientsInterleavedMatchSerialBaseline) {
           const int q = (c + i) % kVariants;
           const net::WireResult result =
               client.submit(variant_query(fx.in, fx.out, q));
-          if (!result.ok) {
+          if (!result.ok()) {
             ++failures;
             continue;
           }
@@ -398,20 +402,20 @@ TEST(ConcurrentServer, ConnectionLimitRefusesExtraClient) {
   net::AdrClient a(fx.server.port());
   net::AdrClient b(fx.server.port());
   // Make sure both connections are registered with the server.
-  ASSERT_TRUE(a.submit(variant_query(fx.in, fx.out, 0)).ok);
-  ASSERT_TRUE(b.submit(variant_query(fx.in, fx.out, 1)).ok);
+  ASSERT_TRUE(a.submit(variant_query(fx.in, fx.out, 0)).ok());
+  ASSERT_TRUE(b.submit(variant_query(fx.in, fx.out, 1)).ok());
 
   // The third connection gets a protocol-level refusal: a
   // WireResult{ok=false, "server busy"} frame, then an orderly close.
   net::AdrClient c(fx.server.port());
   const net::WireResult refusal = c.submit(variant_query(fx.in, fx.out, 2));
-  EXPECT_FALSE(refusal.ok);
-  EXPECT_TRUE(refusal.server_busy()) << refusal.error;
+  EXPECT_FALSE(refusal.ok());
+  EXPECT_TRUE(refusal.server_busy()) << refusal.error();
   EXPECT_FALSE(c.connected());  // client surfaces the server-side close
   EXPECT_GE(fx.server.connections_refused(), 1u);
 
   // Existing clients are unaffected.
-  EXPECT_TRUE(a.submit(variant_query(fx.in, fx.out, 2)).ok);
+  EXPECT_TRUE(a.submit(variant_query(fx.in, fx.out, 2)).ok());
 }
 
 TEST(ConcurrentServer, SchedulerQueueFullRefusesQueryWithBusyFrame) {
@@ -438,7 +442,7 @@ TEST(ConcurrentServer, SchedulerQueueFullRefusesQueryWithBusyFrame) {
   for (int attempt = 0; attempt < 100 && !refused; ++attempt) {
     net::AdrClient probe(server.port());
     refusal = probe.submit(variant_query(in, out, 0));
-    if (!refusal.ok && refusal.server_busy()) {
+    if (!refusal.ok() && refusal.server_busy()) {
       refused = true;
       EXPECT_FALSE(probe.connected());
     } else {
@@ -458,7 +462,7 @@ TEST(ConcurrentServer, SchedulerQueueFullRefusesQueryWithBusyFrame) {
   net::AdrServer server2(repo, /*port=*/0, {}, 8, 1, 1);
   server2.start();
   net::AdrClient ok_client(server2.port());
-  EXPECT_TRUE(ok_client.submit(variant_query(in, out, 0)).ok);
+  EXPECT_TRUE(ok_client.submit(variant_query(in, out, 0)).ok());
   server2.stop();
 }
 
@@ -466,17 +470,20 @@ TEST(ConcurrentServer, SlotFreedAfterClientDisconnects) {
   ServerFixture fx(/*max_connections=*/1);
   {
     net::AdrClient a(fx.server.port());
-    ASSERT_TRUE(a.submit(variant_query(fx.in, fx.out, 0)).ok);
+    ASSERT_TRUE(a.submit(variant_query(fx.in, fx.out, 0)).ok());
   }
   // The slot frees once the server notices the close; retry briefly.
+  // A too-early attempt can either fail to connect (throws) or be
+  // accepted and refused with a busy frame (returns !ok) — back off
+  // in both cases.
   bool served = false;
   for (int attempt = 0; attempt < 50 && !served; ++attempt) {
     try {
       net::AdrClient b(fx.server.port());
-      served = b.submit(variant_query(fx.in, fx.out, 1)).ok;
+      served = b.submit(variant_query(fx.in, fx.out, 1)).ok();
     } catch (const std::runtime_error&) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(10));
     }
+    if (!served) std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   EXPECT_TRUE(served);
 }
@@ -491,7 +498,7 @@ TEST(ConcurrentServer, StopDrainsActiveConnections) {
       try {
         net::AdrClient client(fx->server.port());
         for (int i = 0; i < 8; ++i) {
-          if (client.submit(variant_query(fx->in, fx->out, (c + i) % 6)).ok) ++ok;
+          if (client.submit(variant_query(fx->in, fx->out, (c + i) % 6)).ok()) ++ok;
         }
       } catch (const std::exception&) {
         // Expected once stop() lands mid-stream: the half-close surfaces

@@ -289,16 +289,51 @@ TEST(QuerySubmissionService, TicketsAndFifoProcessing) {
   const auto t2 = service.enqueue(q);
   EXPECT_NE(t1, t2);
   EXPECT_EQ(service.pending(), 2u);
-  EXPECT_EQ(service.result(t1), nullptr);  // not processed yet
+  EXPECT_FALSE(service.try_take(t1).has_value());  // not processed yet
 
   EXPECT_EQ(service.process_all(), 2u);
   EXPECT_EQ(service.pending(), 0u);
-  ASSERT_NE(service.result(t1), nullptr);
-  ASSERT_NE(service.result(t2), nullptr);
-  EXPECT_EQ(service.result(t2)->strategy, StrategyKind::kDA);
-  EXPECT_EQ(service.result(t1)->outputs.size(), 4u);
-  EXPECT_EQ(service.result(99999), nullptr);
+  const auto o1 = service.take(t1);
+  const auto o2 = service.take(t2);
+  ASSERT_TRUE(o1.ok()) << o1.status.to_string();
+  ASSERT_TRUE(o2.ok()) << o2.status.to_string();
+  EXPECT_EQ(o2.result.strategy, StrategyKind::kDA);
+  EXPECT_EQ(o1.result.outputs.size(), 4u);
+  // Unknown tickets come back as kNotFound, immediately.
+  EXPECT_EQ(service.take(99999).status.code, StatusCode::kNotFound);
+  // Taking the same ticket twice also misses: take() releases retention.
+  EXPECT_EQ(service.take(t1).status.code, StatusCode::kNotFound);
 }
+
+// The pre-batching accessors are deprecated but must keep working for
+// one release cycle; suppress the deprecation warning locally (CI builds
+// with -Werror).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(QuerySubmissionService, DeprecatedAccessorsStillWork) {
+  Repository repo(thread_config(2));
+  const auto in = repo.create_dataset("in", Rect::cube(2, 0.0, 1.0), grid_inputs(4, 2));
+  const auto out = repo.create_dataset("out", Rect::cube(2, 0.0, 1.0), grid_outputs(2));
+  QuerySubmissionService service(repo);
+
+  Query q;
+  q.input_dataset = in;
+  q.output_dataset = out;
+  q.range = Rect::cube(2, 0.0, 1.0);
+  q.aggregation = "sum-count-max";
+  q.delivery = OutputDelivery::kReturnToClient;
+
+  const auto t = service.enqueue(q);
+  EXPECT_EQ(service.result(t), nullptr);  // not processed yet
+  EXPECT_EQ(service.process_all(), 1u);
+  ASSERT_NE(service.result(t), nullptr);
+  EXPECT_EQ(service.result(t)->outputs.size(), 4u);
+  EXPECT_EQ(service.error(t), nullptr);
+  const QueryResult* r = service.wait(t);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->outputs.size(), 4u);
+}
+#pragma GCC diagnostic pop
 
 TEST(Repository, GridIndexBackendWorks) {
   RepositoryConfig cfg = thread_config(2);

@@ -93,7 +93,8 @@ TEST(Wire, ResultRoundTripWithChunks) {
   result.outputs.emplace_back(meta, payload);
 
   const WireResult back = decode_result(encode_result(result));
-  EXPECT_TRUE(back.ok);
+  EXPECT_TRUE(back.ok());
+  EXPECT_EQ(back.status.code, StatusCode::kOk);
   EXPECT_EQ(back.strategy, StrategyKind::kDA);
   EXPECT_EQ(back.tiles, 5);
   EXPECT_EQ(back.ghost_chunks, 99u);
@@ -105,21 +106,68 @@ TEST(Wire, ResultRoundTripWithChunks) {
 
 TEST(Wire, ErrorResultRoundTrip) {
   WireResult result;
-  result.ok = false;
-  result.error = "unknown aggregation";
+  result.status = Status::make(StatusCode::kExecFailed, "unknown aggregation");
   const WireResult back = decode_result(encode_result(result));
-  EXPECT_FALSE(back.ok);
-  EXPECT_EQ(back.error, "unknown aggregation");
+  EXPECT_FALSE(back.ok());
+  EXPECT_EQ(back.status.code, StatusCode::kExecFailed);
+  EXPECT_EQ(back.error(), "unknown aggregation");
+}
+
+TEST(Wire, StatusCodesRoundTripV4) {
+  // Every typed failure code survives the wire unchanged (v4 result
+  // frames append the raw 16-bit code after the v3 retry hint).
+  for (const StatusCode code :
+       {StatusCode::kInvalidArgument, StatusCode::kNotFound, StatusCode::kBusy,
+        StatusCode::kPlanRejected, StatusCode::kExecFailed,
+        StatusCode::kUnavailable, StatusCode::kInternal}) {
+    WireResult result;
+    result.status = Status::make(code, "details");
+    const WireResult back = decode_result(encode_result(result));
+    EXPECT_FALSE(back.ok());
+    EXPECT_EQ(back.status.code, code);
+    EXPECT_EQ(back.error(), "details");
+  }
 }
 
 TEST(Wire, RetryAfterHintRoundTrips) {
   WireResult result;
-  result.ok = false;
-  result.error = kServerBusyError;
+  result.status = Status::make(StatusCode::kBusy, kServerBusyError);
   result.retry_after_ms = 750;
   const WireResult back = decode_result(encode_result(result));
   EXPECT_TRUE(back.server_busy());
   EXPECT_EQ(back.retry_after_ms, 750u);
+}
+
+TEST(Wire, ExecOptionsTravelWithQueryFrame) {
+  Query q;
+  q.input_dataset = 1;
+  q.output_dataset = 2;
+  q.range = Rect::cube(2, 0.0, 1.0);
+  // Flip every flag away from its default (and set a nonzero comm-CPU
+  // rate) so the round trip can't pass by accident.
+  ExecOptions options;
+  options.init_from_output = false;
+  options.write_output = false;
+  options.pipeline_tiles = false;
+  options.record_trace = true;
+  options.comm_cpu_bytes_per_sec = 1.5e9;
+  const WireQuery back = decode_query_frame(encode_query(q, options));
+  EXPECT_EQ(back.query.input_dataset, 1u);
+  EXPECT_FALSE(back.options.init_from_output);
+  EXPECT_FALSE(back.options.write_output);
+  EXPECT_FALSE(back.options.pipeline_tiles);
+  EXPECT_TRUE(back.options.record_trace);
+  EXPECT_DOUBLE_EQ(back.options.comm_cpu_bytes_per_sec, 1.5e9);
+
+  // Omitted options decode back to the defaults.
+  const ExecOptions defaults;
+  const WireQuery plain = decode_query_frame(encode_query(q));
+  EXPECT_EQ(plain.options.init_from_output, defaults.init_from_output);
+  EXPECT_EQ(plain.options.write_output, defaults.write_output);
+  EXPECT_EQ(plain.options.pipeline_tiles, defaults.pipeline_tiles);
+  EXPECT_EQ(plain.options.record_trace, defaults.record_trace);
+  EXPECT_DOUBLE_EQ(plain.options.comm_cpu_bytes_per_sec,
+                   defaults.comm_cpu_bytes_per_sec);
 }
 
 TEST(Wire, V2ResultFrameStillDecodes) {
@@ -140,11 +188,46 @@ TEST(Wire, V2ResultFrameStillDecodes) {
   w.u64(2);         // cache_misses
   w.u32(0);         // outputs
   const WireResult back = decode_result(w.take());
-  EXPECT_TRUE(back.ok);
+  EXPECT_TRUE(back.ok());
+  EXPECT_EQ(back.status.code, StatusCode::kOk);
   EXPECT_EQ(back.strategy, StrategyKind::kSRA);
   EXPECT_EQ(back.tiles, 9);
   EXPECT_EQ(back.cache_hits, 10u);
   EXPECT_EQ(back.retry_after_ms, 0u);  // v3 field defaults
+}
+
+TEST(Wire, V3ResultFrameInfersStatusCode) {
+  // A v3 peer's failure frame carries only (ok, message); the decoder
+  // must map the well-known busy message to kBusy and anything else to
+  // kInternal.
+  const auto v3_failure = [](const std::string& error) {
+    Writer w;
+    w.u8(0x52);  // result tag
+    w.u8(3);     // protocol v3
+    w.u8(0);     // not ok
+    w.str(error);
+    w.u8(static_cast<std::uint8_t>(StrategyKind::kFRA));
+    w.u32(0);   // tiles
+    w.u64(0);   // ghost_chunks
+    w.u64(0);   // chunk_reads
+    w.f64(0.0); // total_s
+    w.u64(0);   // bytes_communicated
+    w.u64(0);   // cache_hits
+    w.u64(0);   // cache_misses
+    w.u32(500); // retry_after_ms (v3)
+    w.u32(0);   // outputs
+    return decode_result(w.take());
+  };
+  const WireResult busy = v3_failure(kServerBusyError);
+  EXPECT_FALSE(busy.ok());
+  EXPECT_EQ(busy.status.code, StatusCode::kBusy);
+  EXPECT_TRUE(busy.server_busy());
+  EXPECT_EQ(busy.retry_after_ms, 500u);
+
+  const WireResult other = v3_failure("engine exploded");
+  EXPECT_FALSE(other.ok());
+  EXPECT_EQ(other.status.code, StatusCode::kInternal);
+  EXPECT_EQ(other.error(), "engine exploded");
 }
 
 TEST(Wire, UnsupportedVersionRejected) {
@@ -244,7 +327,7 @@ TEST(ClientServer, QueryOverLoopback) {
   ServerFixture fx;
   AdrClient client(fx.server.port());
   const WireResult result = client.submit(fx.basic_query());
-  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_TRUE(result.ok()) << result.error();
   ASSERT_EQ(result.outputs.size(), 4u);
   std::uint64_t sum = 0;
   for (const Chunk& c : result.outputs) sum += c.as<std::uint64_t>()[0];
@@ -259,7 +342,7 @@ TEST(ClientServer, MultipleQueriesOnOneConnection) {
     Query q = fx.basic_query();
     q.strategy = s;
     const WireResult result = client.submit(q);
-    ASSERT_TRUE(result.ok) << result.error;
+    ASSERT_TRUE(result.ok()) << result.error();
     EXPECT_EQ(result.strategy, s);
   }
   EXPECT_EQ(fx.server.queries_served(), 3u);
@@ -270,7 +353,7 @@ TEST(ClientServer, SequentialClients) {
   for (int c = 0; c < 3; ++c) {
     AdrClient client(fx.server.port());
     const WireResult result = client.submit(fx.basic_query());
-    EXPECT_TRUE(result.ok);
+    EXPECT_TRUE(result.ok());
   }
   EXPECT_EQ(fx.server.queries_served(), 3u);
 }
@@ -281,10 +364,10 @@ TEST(ClientServer, ServerSideErrorReturnedToClient) {
   Query q = fx.basic_query();
   q.aggregation = "no-such-op";
   const WireResult result = client.submit(q);
-  EXPECT_FALSE(result.ok);
-  EXPECT_NE(result.error.find("unknown aggregation"), std::string::npos);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("unknown aggregation"), std::string::npos);
   // The connection survives an error; a good query still works.
-  EXPECT_TRUE(client.submit(fx.basic_query()).ok);
+  EXPECT_TRUE(client.submit(fx.basic_query()).ok());
 }
 
 TEST(ClientServer, StopUnblocksAndRefusesNewClients) {
@@ -297,7 +380,7 @@ TEST(ClientServer, StopUnblocksAndRefusesNewClients) {
 TEST(ClientServer, StatsEndpointReturnsLiveMetrics) {
   ServerFixture fx;
   AdrClient client(fx.server.port());
-  ASSERT_TRUE(client.submit(fx.basic_query()).ok);
+  ASSERT_TRUE(client.submit(fx.basic_query()).ok());
 
   const WireStatsReply stats = client.stats();
   std::string err;
@@ -318,7 +401,7 @@ TEST(ClientServer, StatsEndpointReturnsLiveMetrics) {
       << "submit latency histogram should have samples: " << json;
 
   // Queries and stats requests interleave on one connection.
-  EXPECT_TRUE(client.submit(fx.basic_query()).ok);
+  EXPECT_TRUE(client.submit(fx.basic_query()).ok());
   EXPECT_TRUE(client.connected());
 }
 
@@ -327,7 +410,7 @@ TEST(ClientServer, StatsIncludesTraceWhenEnabled) {
   {
     ServerFixture fx;
     AdrClient client(fx.server.port());
-    ASSERT_TRUE(client.submit(fx.basic_query()).ok);
+    ASSERT_TRUE(client.submit(fx.basic_query()).ok());
 
     const WireStatsReply stats = client.stats(/*include_trace=*/true);
     std::string err;
@@ -351,7 +434,7 @@ TEST(ClientServer, BusyRefusalCarriesRetryAfterHint) {
   AdrClient first(tight.port());
   // A served query guarantees the first connection is registered before
   // the second one arrives (connect() alone can race the accept loop).
-  ASSERT_TRUE(first.submit(fx.basic_query()).ok);
+  ASSERT_TRUE(first.submit(fx.basic_query()).ok());
 
   AdrClient second(tight.port());
   const WireResult refusal = second.submit(fx.basic_query());

@@ -211,7 +211,7 @@ TEST(TraceExport, SchedulerRunEmitsLifecycleSpans) {
     q.strategy = StrategyKind::kFRA;
     const std::uint64_t ticket = svc.enqueue(q, ComputeCosts{});
     const auto outcome = svc.take(ticket);
-    ASSERT_TRUE(outcome.ok) << outcome.error;
+    ASSERT_TRUE(outcome.ok()) << outcome.status.to_string();
     svc.stop();
 
     const auto evs = tracer().events();
