@@ -1,0 +1,145 @@
+// Deterministic fault-injection registry.
+//
+// The serving stack's failure paths (storage fetch errors, executor
+// faults, connection resets, dropped replies) are exercised by *provoking*
+// them on purpose instead of waiting for luck: production code threads
+// named fault points through the layers that can realistically fail, and
+// tests arm those points with a trigger (fire with probability p, fire
+// every Nth hit, fire once after K hits), an effect (an injected
+// adr::Status and/or a latency), and an optional firing budget.  The
+// per-point decision stream is driven by a seeded RNG, so a fault plan
+// replays bit-identically: the k-th hit of a point fires or not
+// regardless of which thread lands it.
+//
+// Call sites pay one relaxed atomic load while nothing is armed — the
+// registry is safe to consult on hot paths (every chunk fetch checks
+// one).  Hit and fire totals are also surfaced through the process-wide
+// metrics registry as `fault.<point>.hits` / `fault.<point>.fires`, so a
+// faulted run's stats endpoint shows exactly which faults landed.
+//
+// Fault-point catalog and usage recipes: docs/robustness.md.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.hpp"
+
+namespace adr::fault {
+
+/// When an armed point fires.
+enum class Trigger {
+  /// Every hit fires (subject to max_fires).
+  kAlways,
+  /// Each hit fires independently with `probability` (seeded, so the
+  /// decision sequence is a pure function of the seed and hit index).
+  kProbability,
+  /// Hits 1..: fire when hit_number % every_nth == 0.
+  kEveryNth,
+  /// Fire exactly once, on hit number after_hits + 1.
+  kOneShot,
+};
+
+/// What an armed point does when it fires.  A non-OK `code` makes
+/// check() throw StatusError{code, message} (and fires() return true); a
+/// nonzero `delay` sleeps first — arm delay with code == kOk for a pure
+/// slow-path fault.
+struct FaultSpec {
+  Trigger trigger = Trigger::kAlways;
+  double probability = 1.0;          // Trigger::kProbability
+  std::uint64_t every_nth = 1;       // Trigger::kEveryNth
+  std::uint64_t after_hits = 0;      // Trigger::kOneShot
+  /// Total firings allowed; 0 = unlimited.  A capped fault plan is what
+  /// makes retry tests terminate deterministically.
+  std::uint64_t max_fires = 0;
+  StatusCode code = StatusCode::kIoError;
+  /// Injected failure message; empty composes "injected fault: <point>".
+  std::string message;
+  std::chrono::microseconds delay{0};
+};
+
+struct PointStats {
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+};
+
+class FaultRegistry {
+ public:
+  /// Base seed mixed into every subsequently armed point's RNG (re-arm
+  /// after changing it).  Defaults to a fixed constant, so arming alone
+  /// is already deterministic.
+  void seed(std::uint64_t s);
+
+  /// Arms (or re-arms, resetting counters and the RNG) a named point.
+  void arm(const std::string& point, FaultSpec spec);
+
+  /// Disarms one point; returns true if it was armed.
+  bool disarm(const std::string& point);
+
+  /// Disarms everything (tests call this in teardown so a leaked fault
+  /// plan can never bleed into the next test).
+  void reset();
+
+  /// Evaluates a point: counts the hit, decides firing, sleeps any
+  /// injected delay, and returns the injected Status (kOk when the point
+  /// is unarmed, did not fire, or is latency-only).
+  Status evaluate(const char* point);
+
+  /// evaluate(), throwing StatusError when a status-injecting fault
+  /// fires.  The one-liner for call sites with an exception channel.
+  void check(const char* point);
+
+  /// evaluate(), reduced to "did a failing fault fire" for call sites
+  /// with a boolean error channel (socket I/O).  Latency-only faults
+  /// sleep but return false.
+  bool fires(const char* point);
+
+  /// True while any point is armed (the hot-path fast gate).
+  bool armed() const {
+    return armed_points_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Counters for one point (zeros when never armed).  Counters survive
+  /// disarm() so a test can assert after tearing the plan down.
+  PointStats stats(const std::string& point) const;
+
+ private:
+  struct Point {
+    FaultSpec spec;
+    std::uint64_t rng_state = 0;  // splitmix64 stream, advanced per hit
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+    bool armed = false;
+  };
+
+  Status evaluate_slow(const char* point);
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Point> points_;
+  std::uint64_t seed_ = 0x5eed5eedull;
+  std::atomic<std::int64_t> armed_points_{0};
+};
+
+/// The process-wide registry (immortal, like obs::metrics()).
+FaultRegistry& faults();
+
+/// RAII fault plan scope: reset()s the registry on destruction.  Tests
+/// arm through a ScopedFaultPlan so a failing assertion can never leak
+/// armed faults into later tests.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(std::uint64_t seed) { faults().seed(seed); }
+  ~ScopedFaultPlan() { faults().reset(); }
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+
+  void arm(const std::string& point, FaultSpec spec) {
+    faults().arm(point, std::move(spec));
+  }
+};
+
+}  // namespace adr::fault

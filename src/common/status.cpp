@@ -20,8 +20,22 @@ const char* to_string(StatusCode code) {
       return "unavailable";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kIoError:
+      return "io-error";
   }
   return "unknown";
+}
+
+bool is_retryable(StatusCode code, bool idempotent) {
+  switch (code) {
+    case StatusCode::kBusy:
+      return true;
+    case StatusCode::kIoError:
+    case StatusCode::kUnavailable:
+      return idempotent;
+    default:
+      return false;
+  }
 }
 
 std::string Status::to_string() const {

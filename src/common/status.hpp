@@ -33,7 +33,18 @@ enum class StatusCode : std::uint16_t {
   kUnavailable = 6,
   /// Anything the server could not classify.
   kInternal = 7,
+  /// A storage-layer read or write failed mid-query (disk fault, short
+  /// read, injected fault).  Retrying an idempotent query may succeed —
+  /// declustered farms survive transient per-disk failures.
+  kIoError = 8,
 };
+
+/// Client-side retry classification: kBusy is always retryable (the
+/// server refused before doing work); kIoError and kUnavailable are
+/// retryable only for idempotent queries (range aggregations re-execute
+/// from scratch — a retry after a transport loss cannot double-apply).
+/// Everything else fails the same way again.
+bool is_retryable(StatusCode code, bool idempotent);
 
 /// Short stable identifier, e.g. "ok", "busy", "plan-rejected".
 const char* to_string(StatusCode code);

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "common/fault.hpp"
 #include "common/logging.hpp"
 #include "net/socket_io.hpp"
 #include "net/wire.hpp"
@@ -275,6 +276,13 @@ void AdrServer::serve_connection(Conn* conn) {
     } catch (const std::exception& e) {
       result.status = status_from_exception(e);
       ADR_WARN("server: query failed: " << e.what());
+    }
+    // Injected reply drop: the query executed, but the result frame
+    // never leaves the server — the client sees the connection close
+    // mid-query (kUnavailable) and must decide whether to retry.
+    if (fault::faults().fires("net.reply_drop")) {
+      ADR_WARN("server: dropping reply on fd=" << fd << " (injected fault)");
+      break;
     }
     const bool tracing = obs::tracer().enabled();
     const std::uint64_t reply_ts = tracing ? obs::tracer().now_us() : 0;

@@ -5,6 +5,8 @@
 
 #include <cerrno>
 
+#include "common/fault.hpp"
+
 namespace adr::net {
 namespace {
 
@@ -38,6 +40,9 @@ bool write_exact(int fd, const std::byte* data, std::size_t n) {
 }  // namespace
 
 bool read_frame(int fd, std::vector<std::byte>& payload) {
+  // Injected receive failure: indistinguishable from the peer resetting
+  // the connection before the frame arrived.
+  if (fault::faults().fires("net.read_frame")) return false;
   std::byte header[4];
   if (!read_exact(fd, header, 4)) return false;
   std::uint32_t length = 0;
@@ -50,13 +55,24 @@ bool read_frame(int fd, std::vector<std::byte>& payload) {
 }
 
 bool write_frame(int fd, const std::vector<std::byte>& payload) {
+  // Injected send failure before any bytes leave: a clean reset.
+  if (fault::faults().fires("net.write_frame")) return false;
   const auto length = static_cast<std::uint32_t>(payload.size());
   std::byte header[4];
   for (int i = 0; i < 4; ++i) {
     header[i] = static_cast<std::byte>((length >> (8 * i)) & 0xff);
   }
   if (!write_exact(fd, header, 4)) return false;
-  return payload.empty() || write_exact(fd, payload.data(), payload.size());
+  if (payload.empty()) return true;
+  // Injected short write: the header and half the payload reach the
+  // peer, then the connection "dies".  The receiver's read_exact on the
+  // remainder blocks until our side closes, then fails — exercising the
+  // torn-frame path without a real network.
+  if (fault::faults().fires("net.short_write")) {
+    write_exact(fd, payload.data(), payload.size() / 2);
+    return false;
+  }
+  return write_exact(fd, payload.data(), payload.size());
 }
 
 }  // namespace adr::net

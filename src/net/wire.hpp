@@ -73,6 +73,10 @@ struct WireResult {
   /// is worth it, derived from its live queue-depth gauge and measured
   /// submit latency (v3 protocol; 0 = no hint).
   std::uint32_t retry_after_ms = 0;
+  /// How many submit attempts the client made before this result came
+  /// back (1 = first try).  Client-side bookkeeping filled in by
+  /// AdrClient's retry loop — never serialized on the wire.
+  std::uint32_t attempts = 1;
   std::vector<Chunk> outputs;
 
   /// True when the server refused the query because it is saturated;

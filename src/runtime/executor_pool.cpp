@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "common/fault.hpp"
 #include "obs/metrics.hpp"
 
 namespace adr {
@@ -45,6 +46,10 @@ ThreadExecutorPool::~ThreadExecutorPool() {
 }
 
 ThreadExecutorPool::Lease ThreadExecutorPool::acquire() {
+  // Injectable lease failure (arm with kBusy to emulate a saturated
+  // farm): checked before any pool state mutates, so a refused lease
+  // leaves counters and the idle list untouched.
+  fault::faults().check("runtime.lease");
   std::unique_ptr<ThreadExecutor> executor;
   {
     std::lock_guard<std::mutex> lock(mutex_);

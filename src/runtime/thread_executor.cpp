@@ -5,6 +5,8 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "common/fault.hpp"
+
 namespace adr {
 
 ThreadExecutor::ThreadExecutor(int num_nodes, int disks_per_node, ChunkStore* store)
@@ -68,12 +70,22 @@ void ThreadExecutor::read(int node, int global_disk, ChunkId id, std::uint64_t b
   (void)bytes;
   assert(node_of_disk(global_disk) == node);
   ChunkStore* store = store_;
-  post(node, [store, global_disk, id, done = std::move(done)]() {
+  // A throwing fetch (disk fault, injected error) must not unwind the
+  // node thread — that would terminate the process.  Record the error
+  // and deliver nullopt: the engine degrades exactly as for a missing
+  // chunk, the run completes, and run() rethrows the recorded status.
+  post(node, [this, store, global_disk, id, done = std::move(done)]() {
+    std::optional<Chunk> chunk;
     if (store != nullptr) {
-      done(store->get(global_disk, id));
-    } else {
-      done(std::nullopt);
+      try {
+        chunk = store->get(global_disk, id);
+      } catch (const StatusError& e) {
+        record_run_error(e.to_status());
+      } catch (const std::exception& e) {
+        record_run_error(status_from_exception(e));
+      }
     }
+    done(std::move(chunk));
   });
 }
 
@@ -81,9 +93,18 @@ void ThreadExecutor::write(int node, int global_disk, Chunk chunk, Task done) {
   assert(node_of_disk(global_disk) == node);
   (void)global_disk;
   ChunkStore* store = store_;
-  post(node, [store, chunk = std::move(chunk), done = std::move(done)]() mutable {
-    if (store != nullptr) store->put(std::move(chunk));
-    done();
+  post(node, [this, store, chunk = std::move(chunk),
+              done = std::move(done)]() mutable {
+    if (store != nullptr) {
+      try {
+        store->put(std::move(chunk));
+      } catch (const StatusError& e) {
+        record_run_error(e.to_status());
+      } catch (const std::exception& e) {
+        record_run_error(status_from_exception(e));
+      }
+    }
+    done();  // the phase state machine must still advance past the write
   });
 }
 
@@ -101,7 +122,14 @@ void ThreadExecutor::set_message_handler(MessageHandler handler) {
 
 void ThreadExecutor::compute(int node, double cost_seconds, Task done) {
   (void)cost_seconds;  // real work costs real time on this executor
-  post(node, std::move(done));
+  post(node, [this, done = std::move(done)]() {
+    // Injected per-tile reduction failure: record it (failing the run
+    // after completion) but still run the continuation so the engine's
+    // phase accounting stays balanced.
+    const Status injected = fault::faults().evaluate("runtime.compute");
+    if (!injected.ok()) record_run_error(injected);
+    done();
+  });
 }
 
 void ThreadExecutor::barrier(int node, Task done) {
@@ -160,6 +188,10 @@ double ThreadExecutor::run(std::function<void(int)> entry) {
     finished_ = 0;
   }
   {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    run_error_ = Status::make_ok();
+  }
+  {
     std::lock_guard<std::mutex> lock(barrier_mutex_);
     assert(barrier_waiters_.empty());
     barrier_waiters_.clear();
@@ -180,7 +212,22 @@ double ThreadExecutor::run(std::function<void(int)> entry) {
     ++completed_runs_;
   }
   const auto end = std::chrono::steady_clock::now();
+  // Surface the first node-task failure only after every node finished:
+  // the pool is quiescent, so a leased warm executor returns to the pool
+  // clean even when the query it ran failed.
+  {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    if (!run_error_.ok()) {
+      throw StatusError(run_error_.code, run_error_.message);
+    }
+  }
   return std::chrono::duration<double>(end - start).count();
+}
+
+void ThreadExecutor::record_run_error(Status status) {
+  if (status.ok()) return;
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  if (run_error_.ok()) run_error_ = std::move(status);
 }
 
 std::uint64_t ThreadExecutor::completed_runs() const {

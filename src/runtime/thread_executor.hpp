@@ -28,6 +28,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.hpp"
 #include "runtime/executor.hpp"
 #include "storage/disk_store.hpp"
 
@@ -71,6 +72,15 @@ class ThreadExecutor : public Executor {
   /// observability: threads are spawned once, runs accumulate).
   std::uint64_t completed_runs() const;
 
+  /// Records a failure observed by a node task this run (storage fetch
+  /// fault, injected reduction error).  First error wins; the engine
+  /// keeps running to completion on degraded inputs (a faulted read
+  /// delivers nullopt, exactly like a missing chunk) so barriers and
+  /// sliding windows never wedge, and run() rethrows the recorded error
+  /// once every node has finished — the query fails cleanly instead of
+  /// returning silently partial results.  Thread-safe (node threads).
+  void record_run_error(Status status);
+
  private:
   struct Worker {
     std::thread thread;
@@ -104,6 +114,11 @@ class ThreadExecutor : public Executor {
   std::condition_variable done_cv_;
   int finished_ = 0;
   std::uint64_t completed_runs_ = 0;
+
+  /// First error recorded this run (guarded by error_mutex_; reset at
+  /// the start of each run, thrown from run() after completion).
+  mutable std::mutex error_mutex_;
+  Status run_error_;
 
   std::chrono::steady_clock::time_point epoch_;
 };

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "common/fault.hpp"
 #include "obs/metrics.hpp"
 
 namespace adr {
@@ -120,7 +121,12 @@ std::optional<Chunk> CachingChunkStore::get(int disk, ChunkId id) const {
   }
   ++shard.misses;
   cache_metrics().misses.add();
+  // A failed backing fetch must never populate the shard: a fault that
+  // throws below (or the injected one here, between the fetch and the
+  // install) would otherwise be masked for every later reader, serving
+  // bytes the "disk" never delivered.
   std::optional<Chunk> chunk = backing_->get(disk, id);
+  fault::faults().check("storage.cache_fetch");
   if (chunk.has_value()) install_locked(shard, *chunk);
   return chunk;
 }

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/fault.hpp"
+
 namespace adr {
 
 MemoryChunkStore::MemoryChunkStore(int num_disks) : disks_(static_cast<size_t>(num_disks)) {
@@ -30,6 +32,9 @@ void MemoryChunkStore::put(Chunk chunk) {
 
 std::optional<Chunk> MemoryChunkStore::get(int disk, ChunkId id) const {
   assert(disk >= 0 && disk < num_disks());
+  // Checked before the store lock: a latency fault sleeps without
+  // serializing the whole farm; an error fault throws StatusError.
+  fault::faults().check("storage.fetch");
   std::lock_guard<std::mutex> lock(mutex_);
   const Disk& d = disks_[static_cast<size_t>(disk)];
   auto it = d.chunks.find(id);
@@ -179,6 +184,7 @@ void FileChunkStore::put(Chunk chunk) {
 
 std::optional<Chunk> FileChunkStore::get(int disk, ChunkId id) const {
   assert(disk >= 0 && disk < num_disks());
+  fault::faults().check("storage.fetch");
   std::lock_guard<std::mutex> lock(mutex_);
   const Disk& d = disks_[static_cast<size_t>(disk)];
   auto it = d.entries.find(id);

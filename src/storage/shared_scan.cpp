@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/fault.hpp"
+
 namespace adr {
 
 SharedScanStore::SharedScanStore(ChunkStore& backing, std::uint64_t max_bytes)
@@ -40,8 +42,22 @@ std::optional<Chunk> SharedScanStore::get(int disk, ChunkId id) const {
   // Holding the mutex across the backing fetch keeps a second reader of
   // the same chunk from double-fetching; different chunks only contend
   // for the map, not the I/O (the backing store has its own locking).
-  std::optional<Chunk> chunk = backing_->get(disk, id);
-  if (!chunk.has_value()) return chunk;
+  // A failed cold fetch consumes only the failed reader's planned use:
+  // the remaining uses are re-registered so the gang's later readers are
+  // still counted (and retained once a retry succeeds) instead of the
+  // whole refcount leaking away into passthrough reads.
+  std::optional<Chunk> chunk;
+  try {
+    fault::faults().check("storage.shared_fetch");
+    chunk = backing_->get(disk, id);
+  } catch (...) {
+    if (uses > 1) planned_[id] = uses - 1;
+    throw;
+  }
+  if (!chunk.has_value()) {
+    if (uses > 1) planned_[id] = uses - 1;
+    return chunk;
+  }
   if (uses > 1) {
     const std::uint64_t charge = chunk->payload().size();
     if (max_bytes_ != 0 && stats_.resident_bytes + charge > max_bytes_) {

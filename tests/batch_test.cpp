@@ -9,6 +9,7 @@
 
 #include <cstring>
 
+#include "common/fault.hpp"
 #include "storage/shared_scan.hpp"
 #include "test_helpers.hpp"
 
@@ -321,6 +322,33 @@ TEST(SharedScanStore, ColdFetchOnceThenSharedHitsUntilUsesDrain) {
   // A fourth, unplanned read passes through to the backing store.
   EXPECT_TRUE(scan.get(0, {1, 0}).has_value());
   EXPECT_EQ(scan.stats().passthrough, 1u);
+}
+
+TEST(SharedScanStore, FailedColdFetchKeepsRemainingPlannedUses) {
+  // Regression: a failed cold fetch consumes only the failed reader's
+  // planned use.  The remaining readers must still be counted — the
+  // whole refcount used to leak, downgrading every later gang member to
+  // an unshared passthrough read.
+  MemoryChunkStore backing(1);
+  backing.put(test_chunk(0, 8));
+  SharedScanStore scan(backing);
+  scan.add_planned_uses({1, 0}, 3);
+
+  fault::ScopedFaultPlan plan(/*seed=*/52);
+  fault::FaultSpec spec;
+  spec.trigger = fault::Trigger::kOneShot;
+  plan.arm("storage.shared_fetch", spec);
+  EXPECT_THROW(scan.get(0, {1, 0}), StatusError);
+
+  // Two planned readers remain: one pays the (now clean) cold fetch,
+  // the other shares its retained copy.
+  ASSERT_TRUE(scan.get(0, {1, 0}).has_value());
+  ASSERT_TRUE(scan.get(0, {1, 0}).has_value());
+  const SharedScanStats stats = scan.stats();
+  EXPECT_EQ(stats.cold_fetches, 2u);  // the failed one and the clean one
+  EXPECT_EQ(stats.shared_hits, 1u);
+  EXPECT_EQ(stats.passthrough, 0u);  // nobody degraded to unplanned reads
+  EXPECT_EQ(stats.resident_bytes, 0u);  // last reader dropped the copy
 }
 
 TEST(SharedScanStore, ByteCapDegradesToPassthrough) {

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault.hpp"
 #include "core/frontend.hpp"
 #include "runtime/executor_pool.hpp"
 #include "storage/chunk_cache.hpp"
@@ -64,6 +65,31 @@ TEST(ChunkCache, MissingChunkIsMissNotCrash) {
   EXPECT_FALSE(cache.get(0, {9, 9}).has_value());
   EXPECT_EQ(cache.stats().misses, 1u);
   EXPECT_EQ(cache.stats().resident_chunks, 0u);  // absent chunks not cached
+}
+
+TEST(ChunkCache, FailedFetchIsNeverCached) {
+  // Regression: a fetch that errors must not install anything — a
+  // cached copy would mask the fault for every later reader, serving
+  // bytes the disk never delivered.
+  MemoryChunkStore backing(1);
+  backing.put(make_chunk(1, 0, 0, 64, std::byte{0x33}));
+  CachingChunkStore cache(backing, 1 << 20);
+
+  fault::ScopedFaultPlan plan(/*seed=*/51);
+  fault::FaultSpec spec;
+  spec.trigger = fault::Trigger::kOneShot;
+  plan.arm("storage.cache_fetch", spec);
+  EXPECT_THROW(cache.get(0, {1, 0}), StatusError);
+  EXPECT_EQ(cache.stats().resident_chunks, 0u);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+
+  // Budget spent: the retry is a clean miss that fetches real bytes.
+  const auto retried = cache.get(0, {1, 0});
+  ASSERT_TRUE(retried.has_value());
+  EXPECT_EQ(retried->payload()[0], std::byte{0x33});
+  EXPECT_EQ(cache.stats().hits, 0u);  // nothing was poisoned into a hit
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().resident_chunks, 1u);
 }
 
 TEST(ChunkCache, LruEvictsLeastRecentlyUsedFirst) {

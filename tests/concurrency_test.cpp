@@ -472,20 +472,20 @@ TEST(ConcurrentServer, SlotFreedAfterClientDisconnects) {
     net::AdrClient a(fx.server.port());
     ASSERT_TRUE(a.submit(variant_query(fx.in, fx.out, 0)).ok());
   }
-  // The slot frees once the server notices the close; retry briefly.
-  // A too-early attempt can either fail to connect (throws) or be
-  // accepted and refused with a busy frame (returns !ok) — back off
-  // in both cases.
-  bool served = false;
-  for (int attempt = 0; attempt < 50 && !served; ++attempt) {
-    try {
-      net::AdrClient b(fx.server.port());
-      served = b.submit(variant_query(fx.in, fx.out, 1)).ok();
-    } catch (const std::runtime_error&) {
-    }
-    if (!served) std::this_thread::sleep_for(std::chrono::milliseconds(10));
-  }
-  EXPECT_TRUE(served);
+  // The slot frees once the server notices the close.  The retrying
+  // client owns the backoff now: a too-early attempt is either refused
+  // with a busy frame (kBusy, always retryable) or fails at the
+  // transport (kUnavailable, retryable for idempotent queries) — one
+  // submit() absorbs both, replacing the old hand-rolled poll loop.
+  net::RetryPolicy policy;
+  policy.max_attempts = 50;
+  policy.initial_backoff = std::chrono::milliseconds(5);
+  policy.max_backoff = std::chrono::milliseconds(100);
+  policy.seed = 9;
+  net::AdrClient b(fx.server.port(), policy);
+  const net::WireResult result = b.submit(variant_query(fx.in, fx.out, 1));
+  EXPECT_TRUE(result.ok()) << result.status.to_string();
+  EXPECT_GE(result.attempts, 1u);
 }
 
 TEST(ConcurrentServer, StopDrainsActiveConnections) {

@@ -1,11 +1,17 @@
-// Robustness and negative-path tests: failure injection, malformed
-// plans, cross-executor equivalence over randomized scenarios, and the
-// emulators running with real payloads.
+// Robustness and negative-path tests: deterministic failure injection
+// through the fault registry, malformed plans, cross-executor
+// equivalence over randomized scenarios, and the emulators running with
+// real payloads.
+//
+// The FailureInjection.* / FaultProperty.* suites are ThreadSanitizer
+// targets (see .github/workflows/ci.yml).
 #include <gtest/gtest.h>
 
 #include <cstring>
 #include <map>
+#include <vector>
 
+#include "common/fault.hpp"
 #include "common/random.hpp"
 #include "core/exec/query_executor.hpp"
 #include "emulator/scenario.hpp"
@@ -65,6 +71,19 @@ struct FaultPipeline {
     req.strategy = strategy;
     return plan_query(req);
   }
+
+  /// The persisted output payloads, in chunk order — the byte-identity
+  /// oracle for faulted-vs-clean comparisons.
+  std::vector<std::vector<std::byte>> output_bytes() {
+    std::vector<std::vector<std::byte>> bytes;
+    for (std::uint32_t o = 0; o < output.num_chunks(); ++o) {
+      auto chunk = store.get(output.chunk(o).disk, output.chunk(o).id);
+      EXPECT_TRUE(chunk.has_value()) << o;
+      bytes.push_back(chunk.has_value() ? chunk->payload()
+                                        : std::vector<std::byte>{});
+    }
+    return bytes;
+  }
 };
 
 TEST(FailureInjection, MissingInputChunkDegradesGracefully) {
@@ -106,6 +125,153 @@ TEST(FailureInjection, MissingOutputChunkStillInitializes) {
   ASSERT_TRUE(chunk.has_value());  // rewritten by output handling
   EXPECT_EQ(chunk->as<std::uint64_t>()[1], 4u);  // its 4 nested inputs
 }
+
+// ------------------------------------------------------------------
+// Registry-driven fault injection: storage fetch errors fail the query
+// with a typed status, and a retried (idempotent) query converges to
+// the byte-identical fault-free result.
+
+TEST(FailureInjection, InjectedFetchErrorFailsQueryWithTypedStatus) {
+  FaultPipeline p;
+  const PlannedQuery pq = p.plan(StrategyKind::kFRA);
+  ThreadExecutor exec(FaultPipeline::kNodes, 1, &p.store);
+
+  fault::ScopedFaultPlan plan(/*seed=*/21);
+  fault::FaultSpec spec;
+  spec.trigger = fault::Trigger::kOneShot;
+  spec.after_hits = 2;  // the third fetch of the run dies
+  plan.arm("storage.fetch", spec);
+
+  try {
+    execute_query(exec, pq, p.input, p.output, &p.op, ComputeCosts{}, 1);
+    FAIL() << "execute_query should have surfaced the injected fault";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kIoError);
+    EXPECT_NE(std::string(e.what()).find("storage.fetch"), std::string::npos);
+  }
+  EXPECT_EQ(fault::faults().stats("storage.fetch").fires, 1u);
+
+  // One-shot budget spent: the same executor re-runs the same plan
+  // clean, and the re-initialized accumulators erase every trace of the
+  // failed attempt.
+  execute_query(exec, pq, p.input, p.output, &p.op, ComputeCosts{}, 1);
+  std::uint64_t sum = 0, count = 0;
+  for (const auto& payload : p.output_bytes()) {
+    ASSERT_GE(payload.size(), 16u);
+    std::uint64_t v = 0;
+    std::memcpy(&v, payload.data(), 8);
+    sum += v;
+    std::memcpy(&v, payload.data() + 8, 8);
+    count += v;
+  }
+  EXPECT_EQ(sum, 666u);  // sum(1..36): nothing missing, nothing doubled
+  EXPECT_EQ(count, 36u);
+}
+
+TEST(FailureInjection, InjectedComputeErrorSurfacesAfterRunCompletes) {
+  FaultPipeline p;
+  const PlannedQuery pq = p.plan(StrategyKind::kDA);
+  ThreadExecutor exec(FaultPipeline::kNodes, 1, &p.store);
+  fault::ScopedFaultPlan plan(/*seed=*/22);
+  fault::FaultSpec spec;
+  spec.trigger = fault::Trigger::kOneShot;
+  spec.code = StatusCode::kExecFailed;
+  plan.arm("runtime.compute", spec);
+  EXPECT_THROW(
+      execute_query(exec, pq, p.input, p.output, &p.op, ComputeCosts{}, 1),
+      StatusError);
+  // The failed run left the executor quiescent: it serves the next run.
+  fault::faults().reset();
+  execute_query(exec, pq, p.input, p.output, &p.op, ComputeCosts{}, 1);
+  EXPECT_EQ(exec.completed_runs(), 2u);
+}
+
+// Table-driven sweep: fault rate x strategy, fixed seeds.  Submitting
+// until the (idempotent) query succeeds must converge on results
+// byte-identical to a never-faulted run — the acceptance bar for the
+// retry story: transient storage faults are invisible in the data.
+
+struct FaultSweepCase {
+  double rate;
+  StrategyKind strategy;
+  std::uint64_t seed;
+};
+
+class FaultProperty : public ::testing::TestWithParam<FaultSweepCase> {};
+
+TEST_P(FaultProperty, RetriedQueryMatchesFaultFreeRunByteForByte) {
+  const FaultSweepCase c = GetParam();
+
+  // Golden: same scenario, no faults armed.
+  std::vector<std::vector<std::byte>> golden;
+  {
+    FaultPipeline p;
+    const PlannedQuery pq = p.plan(c.strategy);
+    ThreadExecutor exec(FaultPipeline::kNodes, 1, &p.store);
+    execute_query(exec, pq, p.input, p.output, &p.op, ComputeCosts{}, 1);
+    golden = p.output_bytes();
+  }
+
+  FaultPipeline p;
+  const PlannedQuery pq = p.plan(c.strategy);
+  ThreadExecutor exec(FaultPipeline::kNodes, 1, &p.store);
+  fault::ScopedFaultPlan plan(c.seed);
+  if (c.rate > 0.0) {
+    fault::FaultSpec spec;
+    spec.trigger = fault::Trigger::kProbability;
+    spec.probability = c.rate;
+    // A bounded budget makes submit-until-ok terminate deterministically
+    // regardless of rate: once spent, the next attempt runs clean.
+    spec.max_fires = 6;
+    plan.arm("storage.fetch", spec);
+  }
+
+  // Counters survive reset(), so measure this test's own activity as a
+  // delta from whatever earlier tests in the same process left behind.
+  const fault::PointStats before = fault::faults().stats("storage.fetch");
+
+  int attempts = 0;
+  bool ok = false;
+  while (!ok && attempts < 20) {
+    ++attempts;
+    try {
+      execute_query(exec, pq, p.input, p.output, &p.op, ComputeCosts{}, 1);
+      ok = true;
+    } catch (const StatusError& e) {
+      EXPECT_EQ(e.code(), StatusCode::kIoError) << e.what();
+    }
+  }
+  ASSERT_TRUE(ok) << "query never succeeded in " << attempts << " attempts";
+
+  const fault::PointStats stats = fault::faults().stats("storage.fetch");
+  if (c.rate > 0.0) {
+    // arm() reset the counters, so these are this test's alone.
+    EXPECT_GT(stats.fires, 0u);  // the plan actually drew blood
+    EXPECT_LE(stats.fires, 6u);
+  } else {
+    EXPECT_EQ(stats.hits - before.hits, 0u);  // unarmed point never counts
+    EXPECT_EQ(attempts, 1);
+  }
+
+  fault::faults().reset();  // collect the oracle without armed faults
+  EXPECT_EQ(p.output_bytes(), golden);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RatesAndStrategies, FaultProperty,
+    ::testing::Values(FaultSweepCase{0.0, StrategyKind::kFRA, 101},
+                      FaultSweepCase{0.0, StrategyKind::kSRA, 102},
+                      FaultSweepCase{0.0, StrategyKind::kDA, 103},
+                      FaultSweepCase{0.1, StrategyKind::kFRA, 104},
+                      FaultSweepCase{0.1, StrategyKind::kSRA, 105},
+                      FaultSweepCase{0.1, StrategyKind::kDA, 106},
+                      FaultSweepCase{0.5, StrategyKind::kFRA, 107},
+                      FaultSweepCase{0.5, StrategyKind::kSRA, 108},
+                      FaultSweepCase{0.5, StrategyKind::kDA, 109}),
+    [](const ::testing::TestParamInfo<FaultSweepCase>& info) {
+      return std::string(to_string(info.param.strategy)) + "_rate" +
+             std::to_string(static_cast<int>(info.param.rate * 100));
+    });
 
 // ------------------------------------------------------------------
 // validate_plan negative cases.
