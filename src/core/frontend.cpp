@@ -611,6 +611,11 @@ QuerySubmissionService::GangPolicy QuerySubmissionService::gang_policy() const {
   return gang_policy_;
 }
 
+void QuerySubmissionService::set_completion_callback(
+    std::function<void(std::uint64_t)> cb) {
+  completion_cb_ = std::move(cb);
+}
+
 std::uint64_t QuerySubmissionService::enqueue(Query query, ComputeCosts costs,
                                               std::uint64_t client_id,
                                               ExecOptions options) {
@@ -802,11 +807,14 @@ void QuerySubmissionService::run_one(Pending&& p) {
   obs::set_trace_query(0);
   scheduler_metrics().in_flight.add(-1);
   (out.ok() ? scheduler_metrics().completed : scheduler_metrics().failed).add();
-  std::lock_guard lock(mutex_);
-  finish_locked(p.ticket, p.client, std::move(out));
+  {
+    std::lock_guard lock(mutex_);
+    finish_locked(p.ticket, p.client, std::move(out));
+  }
   // A freed lane may unblock a queued query for the same client.
   work_cv_.notify_all();
   done_cv_.notify_all();
+  if (completion_cb_) completion_cb_(p.ticket);
 }
 
 void QuerySubmissionService::run_gang(std::vector<Pending>&& gang) {
@@ -867,6 +875,9 @@ void QuerySubmissionService::run_gang(std::vector<Pending>&& gang) {
   }
   work_cv_.notify_all();
   done_cv_.notify_all();
+  if (completion_cb_) {
+    for (const Pending& p : gang) completion_cb_(p.ticket);
+  }
 }
 
 void QuerySubmissionService::worker_loop() {

@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <deque>
 #include <filesystem>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -342,6 +343,14 @@ class QuerySubmissionService {
   void set_gang_policy(const GangPolicy& policy);
   GangPolicy gang_policy() const;
 
+  /// Registers a hook invoked once per finished ticket, on the worker
+  /// thread that finished it, after the outcome is retrievable via
+  /// take()/try_take() and outside the service's lock.  The event-driven
+  /// server uses it to wake its loop instead of blocking a thread in
+  /// take().  Call before start(); the hook must not re-enter the
+  /// service except through try_take().
+  void set_completion_callback(std::function<void(std::uint64_t)> cb);
+
   /// Enqueues a query; the returned ticket retrieves its result later.
   /// Queries with the same `client_id` execute in FIFO order relative to
   /// each other.  Blocks for a free slot when the pool is saturated.
@@ -442,6 +451,8 @@ class QuerySubmissionService {
 
   Repository* repository_;
   const std::size_t max_pending_;
+  /// Per-ticket completion hook (set before start(); never under mutex_).
+  std::function<void(std::uint64_t)> completion_cb_;
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;  // workers: new work or stop

@@ -301,6 +301,22 @@ WireStatsReply AdrClient::stats(bool include_trace) {
   if (!read_frame(fd_, payload)) {
     throw std::runtime_error("AdrClient: connection closed before stats reply");
   }
+  if (is_result_frame(payload)) {
+    // A server at its connection cap answers every new connection with a
+    // busy result frame and closes — surface the typed status (and its
+    // retry-after hint) instead of a "not a stats reply" decode error.
+    const WireResult result = decode_result(payload);
+    ::close(fd_);
+    fd_ = -1;
+    std::string msg = result.status.message.empty() ? std::string(kServerBusyError)
+                                                    : result.status.message;
+    if (result.retry_after_ms > 0) {
+      msg += " (retry after " + std::to_string(result.retry_after_ms) + "ms)";
+    }
+    throw StatusError(result.status.code == StatusCode::kOk ? StatusCode::kUnavailable
+                                                            : result.status.code,
+                      msg);
+  }
   return decode_stats_reply(payload);
 }
 

@@ -1,13 +1,28 @@
 #include "net/server.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#ifdef __linux__
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#define ADR_HAVE_EPOLL 1
+#endif
+
 #include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <deque>
+#include <memory>
 #include <stdexcept>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/fault.hpp"
 #include "common/logging.hpp"
@@ -19,6 +34,8 @@
 namespace adr::net {
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
 // Cumulative process-wide series (metric catalog: docs/observability.md).
 struct ServerMetrics {
   obs::Counter& connections_accepted;
@@ -26,6 +43,9 @@ struct ServerMetrics {
   obs::Counter& queries_served;
   obs::Counter& queries_refused;
   obs::Counter& stats_requests;
+  obs::Counter& epoll_wakeups;
+  obs::Counter& frames_partial;
+  obs::Counter& accept_errors;
   obs::Gauge& active_connections;
 };
 
@@ -35,8 +55,205 @@ ServerMetrics& server_metrics() {
                          obs::metrics().counter("server.queries_served"),
                          obs::metrics().counter("server.queries_refused"),
                          obs::metrics().counter("server.stats_requests"),
+                         obs::metrics().counter("server.epoll_wakeups"),
+                         obs::metrics().counter("server.frames_partial"),
+                         obs::metrics().counter("server.accept_errors"),
                          obs::metrics().gauge("server.active_connections")};
   return m;
+}
+
+// Poller tags: connection ids start above the two fixed slots.
+constexpr std::uint64_t kListenTag = 0;
+constexpr std::uint64_t kWakeTag = 1;
+constexpr std::uint64_t kFirstConnId = 2;
+
+/// Queries one connection may have in the scheduler at once before the
+/// loop stops reading its socket (TCP back-pressure reaches the peer).
+constexpr std::size_t kMaxPipelinedPerConn = 8;
+/// Unflushed outbound bytes beyond which a connection's reads pause.
+constexpr std::size_t kMaxQueuedWriteBytes = 16u << 20;
+/// Flush + linger budget for a connection being closed (busy refusals,
+/// stop() drain): a peer that never reads its last frame is cut off
+/// after this.
+constexpr auto kCloseDrainBudget = std::chrono::milliseconds(200);
+constexpr auto kStopFlushBudget = std::chrono::milliseconds(500);
+/// Accept-error backoff: doubles per consecutive failure up to the cap
+/// (the EMFILE/ENFILE accept storm must not busy-spin the loop).
+constexpr auto kAcceptBackoffBase = std::chrono::milliseconds(1);
+constexpr auto kAcceptBackoffMax = std::chrono::milliseconds(200);
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Readiness-notification façade: epoll on Linux, poll(2) elsewhere.
+/// Level-triggered in both variants; each registered fd carries a
+/// caller tag returned with its events.
+class Poller {
+ public:
+  struct Ready {
+    std::uint64_t tag = 0;
+    bool readable = false;
+    bool writable = false;
+  };
+
+  Poller() {
+#ifdef ADR_HAVE_EPOLL
+    ep_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (ep_ < 0) throw std::runtime_error("AdrServer: epoll_create1() failed");
+#endif
+  }
+
+  ~Poller() {
+#ifdef ADR_HAVE_EPOLL
+    if (ep_ >= 0) ::close(ep_);
+#endif
+  }
+
+  void add(int fd, std::uint64_t tag, bool rd, bool wr) {
+#ifdef ADR_HAVE_EPOLL
+    epoll_event ev{};
+    ev.events = events_of(rd, wr);
+    ev.data.u64 = tag;
+    ::epoll_ctl(ep_, EPOLL_CTL_ADD, fd, &ev);
+#else
+    entries_[fd] = Entry{tag, rd, wr};
+#endif
+  }
+
+  void mod(int fd, std::uint64_t tag, bool rd, bool wr) {
+#ifdef ADR_HAVE_EPOLL
+    epoll_event ev{};
+    ev.events = events_of(rd, wr);
+    ev.data.u64 = tag;
+    ::epoll_ctl(ep_, EPOLL_CTL_MOD, fd, &ev);
+#else
+    entries_[fd] = Entry{tag, rd, wr};
+#endif
+  }
+
+  void del(int fd) {
+#ifdef ADR_HAVE_EPOLL
+    ::epoll_ctl(ep_, EPOLL_CTL_DEL, fd, nullptr);
+#else
+    entries_.erase(fd);
+#endif
+  }
+
+  /// Blocks up to timeout_ms (-1 = indefinitely) and fills `out`.
+  void wait(std::vector<Ready>& out, int timeout_ms) {
+    out.clear();
+#ifdef ADR_HAVE_EPOLL
+    epoll_event events[256];
+    const int n = ::epoll_wait(ep_, events, 256, timeout_ms);
+    for (int i = 0; i < n; ++i) {
+      Ready r;
+      r.tag = events[i].data.u64;
+      // Errors and hangups surface as readability: the owner's read
+      // path observes the close/error and tears the connection down.
+      r.readable = (events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0;
+      r.writable = (events[i].events & (EPOLLOUT | EPOLLERR)) != 0;
+      out.push_back(r);
+    }
+#else
+    std::vector<pollfd> fds;
+    std::vector<std::uint64_t> tags;
+    fds.reserve(entries_.size());
+    for (const auto& [fd, e] : entries_) {
+      pollfd p{};
+      p.fd = fd;
+      if (e.rd) p.events |= POLLIN;
+      if (e.wr) p.events |= POLLOUT;
+      fds.push_back(p);
+      tags.push_back(e.tag);
+    }
+    const int n = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (n <= 0) return;
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      Ready r;
+      r.tag = tags[i];
+      r.readable = (fds[i].revents & (POLLIN | POLLERR | POLLHUP)) != 0;
+      r.writable = (fds[i].revents & (POLLOUT | POLLERR)) != 0;
+      out.push_back(r);
+    }
+#endif
+  }
+
+ private:
+#ifdef ADR_HAVE_EPOLL
+  static std::uint32_t events_of(bool rd, bool wr) {
+    std::uint32_t e = 0;
+    if (rd) e |= EPOLLIN;
+    if (wr) e |= EPOLLOUT;
+    return e;
+  }
+  int ep_ = -1;
+#else
+  struct Entry {
+    std::uint64_t tag = 0;
+    bool rd = false;
+    bool wr = false;
+  };
+  std::unordered_map<int, Entry> entries_;
+#endif
+  friend class PollerFriend;
+};
+
+}  // namespace
+
+// Per-connection state, owned exclusively by the event-loop thread.
+//
+// Life cycle: serving -> closing (no more inbound frames; outstanding
+// replies still flush) -> lingering (SHUT_WR sent, inbound bytes
+// discarded so the kernel cannot RST the final frame away) -> closed.
+// Every closing/lingering connection carries a deadline so a peer that
+// neither reads nor closes is cut off in bounded time.
+struct AdrServer::Conn {
+  std::uint64_t id = 0;
+  int fd = -1;
+  std::uint64_t client_id = 0;
+  FrameReader reader;
+  FrameWriter writer;
+  /// Outstanding scheduler tickets, oldest first (per-client FIFO lanes
+  /// complete in submission order, so replies leave in request order).
+  std::deque<std::uint64_t> tickets;
+  bool refused = false;  // busy-refusal connection: never counted/served
+  bool counted = false;  // contributes to the cap and the active gauge
+  bool closing = false;
+  bool lingering = false;
+  bool reading = true;   // poller read interest
+  bool writing = false;  // poller write interest
+  Clock::time_point deadline{};  // epoch() = none
+};
+
+// Everything the loop owns lives on the loop thread's stack; the only
+// cross-thread channels are atomics, the completion queue, and the
+// wakeup fd.
+struct AdrServer::LoopState {
+  Poller poller;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns;
+  /// In-flight ticket -> connection id (dropped when the peer dies
+  /// before its result: the outcome is then taken and discarded).
+  std::unordered_map<std::uint64_t, std::uint64_t> ticket_conn;
+  /// Min-heap of (deadline, conn id); entries are validated lazily
+  /// against Conn::deadline, so re-arming never needs heap surgery.
+  std::vector<std::pair<Clock::time_point, std::uint64_t>> deadlines;
+  std::uint64_t next_conn_id = kFirstConnId;
+  std::size_t serving_count = 0;  // counted conns, for the cap check
+  bool accept_registered = false;
+  bool accept_paused = false;
+  Clock::time_point accept_resume{};
+  int accept_error_streak = 0;
+  bool stopping = false;
+};
+
+namespace {
+
+bool deadline_heap_greater(const std::pair<Clock::time_point, std::uint64_t>& a,
+                           const std::pair<Clock::time_point, std::uint64_t>& b) {
+  return a.first > b.first;
 }
 
 }  // namespace
@@ -74,112 +291,69 @@ AdrServer::AdrServer(Repository& repository, std::uint16_t port,
     throw std::runtime_error("AdrServer: getsockname() failed");
   }
   port_ = ntohs(addr.sin_port);
-  if (::listen(listen_fd_, 64) != 0) {
+  if (::listen(listen_fd_, 1024) != 0) {
     ::close(listen_fd_);
     throw std::runtime_error("AdrServer: listen() failed");
   }
+  set_nonblocking(listen_fd_);
 }
 
 AdrServer::~AdrServer() { stop(); }
 
 void AdrServer::start() {
   if (running_.exchange(true)) return;
+#ifdef ADR_HAVE_EPOLL
+  wake_rd_ = wake_wr_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_rd_ < 0) throw std::runtime_error("AdrServer: eventfd() failed");
+#else
+  int fds[2];
+  if (::pipe(fds) != 0) throw std::runtime_error("AdrServer: pipe() failed");
+  wake_rd_ = fds[0];
+  wake_wr_ = fds[1];
+  set_nonblocking(wake_rd_);
+  set_nonblocking(wake_wr_);
+#endif
+  // Completion routing: workers record the ticket and poke the loop;
+  // the loop alone turns outcomes into result frames.
+  scheduler_.set_completion_callback(
+      [this](std::uint64_t ticket) { on_ticket_done(ticket); });
   scheduler_.start(scheduler_workers_);
-  accept_thread_ = std::thread([this]() { accept_loop(); });
+  loop_thread_ = std::thread([this]() { event_loop(); });
 }
 
 void AdrServer::stop() {
-  if (!running_.exchange(false)) {
-    if (listen_fd_ >= 0) {
-      ::close(listen_fd_);
-      listen_fd_ = -1;
-    }
-    return;
+  running_.store(false);
+  if (loop_thread_.joinable()) {
+    wake();
+    loop_thread_.join();
   }
-  // shutdown() unblocks the accept() without invalidating the fd the
-  // accept thread still reads; the thread sees running_ == false and
-  // exits, and only then is the descriptor closed and cleared (closing
-  // or overwriting listen_fd_ while accept() uses it is a race).
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  if (accept_thread_.joinable()) accept_thread_.join();
-  ::close(listen_fd_);
-  listen_fd_ = -1;
-
-  // Drain: half-close every live connection.  Blocked reads return 0 so
-  // each thread stops taking new frames, but a result frame for an
-  // in-flight query still goes out before the thread closes its fd.
-  {
-    std::lock_guard lock(conn_mutex_);
-    for (const int fd : live_fds_) ::shutdown(fd, SHUT_RD);
-  }
-  for (;;) {
-    std::unique_ptr<Conn> conn;
-    {
-      std::lock_guard lock(conn_mutex_);
-      if (conns_.empty()) break;
-      conn = std::move(conns_.front());
-      conns_.pop_front();
-    }
-    if (conn->thread.joinable()) conn->thread.join();
-  }
-  // All connection threads have collected their tickets; now drain and
-  // join the scheduler workers.
+  // The loop has exited: every connection fd is closed, in-flight
+  // replies were flushed under the drain deadlines.  Now drain and join
+  // the scheduler workers.
   scheduler_.stop();
-}
-
-std::size_t AdrServer::active_connections() const {
-  std::lock_guard lock(conn_mutex_);
-  std::size_t live = 0;
-  for (const auto& c : conns_) {
-    if (!c->done.load()) ++live;
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
   }
-  return live;
-}
-
-void AdrServer::reap_finished_locked() {
-  for (auto it = conns_.begin(); it != conns_.end();) {
-    if ((*it)->done.load()) {
-      if ((*it)->thread.joinable()) (*it)->thread.join();
-      it = conns_.erase(it);
-    } else {
-      ++it;
-    }
+  if (wake_rd_ >= 0) {
+    ::close(wake_rd_);
+    if (wake_wr_ != wake_rd_ && wake_wr_ >= 0) ::close(wake_wr_);
+    wake_rd_ = wake_wr_ = -1;
   }
 }
 
-void AdrServer::accept_loop() {
-  while (running_.load()) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (!running_.load()) break;
-      continue;  // transient accept error
-    }
-    if (!running_.load()) {
-      ::close(fd);  // raced with stop(): never registered, close here
-      break;
-    }
-    std::lock_guard lock(conn_mutex_);
-    reap_finished_locked();
-    if (live_fds_.size() >= static_cast<std::size_t>(max_connections_)) {
-      // Count before the frame goes out: the busy frame is the client-
-      // visible refusal signal, so the counter must already reflect it
-      // by the time the client decodes it.
-      ++refused_;
-      server_metrics().connections_refused.add();
-      ADR_WARN("server: refused connection, " << live_fds_.size() << " active");
-      refuse_with_busy_frame(fd);  // at capacity: protocol-level refusal
-      continue;
-    }
-    auto conn = std::make_unique<Conn>();
-    conn->fd = fd;
-    Conn* raw = conn.get();
-    live_fds_.insert(fd);
-    server_metrics().connections_accepted.add();
-    server_metrics().active_connections.add(1);
-    conns_.push_back(std::move(conn));
-    ADR_DEBUG("server: accepted fd=" << fd << " live=" << live_fds_.size());
-    raw->thread = std::thread([this, raw]() { serve_connection(raw); });
+void AdrServer::wake() {
+  if (wake_wr_ < 0) return;
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t r = ::write(wake_wr_, &one, sizeof(one));
+}
+
+void AdrServer::on_ticket_done(std::uint64_t ticket) {
+  {
+    std::lock_guard lock(completion_mutex_);
+    completed_tickets_.push_back(ticket);
   }
+  wake();
 }
 
 std::uint32_t AdrServer::retry_after_hint_ms() const {
@@ -198,119 +372,459 @@ std::uint32_t AdrServer::retry_after_hint_ms() const {
   return static_cast<std::uint32_t>(std::clamp(eta_s * 1000.0, 25.0, 10000.0));
 }
 
-void AdrServer::refuse_with_busy_frame(int fd) {
+// ------------------------------------------------------- event loop
+
+void AdrServer::event_loop() {
+  LoopState ls;
+  ls.poller.add(listen_fd_, kListenTag, /*rd=*/true, /*wr=*/false);
+  ls.accept_registered = true;
+  ls.poller.add(wake_rd_, kWakeTag, /*rd=*/true, /*wr=*/false);
+
+  std::vector<Poller::Ready> events;
+  for (;;) {
+    if (!ls.stopping && !running_.load()) loop_begin_stop_drain(ls);
+    if (ls.stopping && ls.conns.empty()) break;
+
+    // Accept backoff expired: watch the listen socket again.
+    if (ls.accept_paused && Clock::now() >= ls.accept_resume && !ls.stopping) {
+      ls.accept_paused = false;
+      ls.poller.add(listen_fd_, kListenTag, true, false);
+      ls.accept_registered = true;
+    }
+
+    ls.poller.wait(events, loop_timeout_ms(ls));
+    server_metrics().epoll_wakeups.add();
+
+    for (const Poller::Ready& ev : events) {
+      if (ev.tag == kWakeTag) {
+        std::uint64_t buf;
+        while (::read(wake_rd_, &buf, sizeof(buf)) > 0) {
+        }
+        continue;
+      }
+      if (ev.tag == kListenTag) {
+        loop_accept(ls);
+        continue;
+      }
+      // The connection may have been closed by an earlier event in this
+      // batch; look it up fresh per half.
+      if (ev.readable) {
+        auto it = ls.conns.find(ev.tag);
+        if (it != ls.conns.end()) loop_readable(ls, *it->second);
+      }
+      if (ev.writable) {
+        auto it = ls.conns.find(ev.tag);
+        if (it != ls.conns.end()) loop_flush(ls, *it->second);
+      }
+    }
+
+    loop_drain_completions(ls);
+    loop_expire_deadlines(ls);
+  }
+}
+
+void AdrServer::loop_begin_stop_drain(LoopState& ls) {
+  ls.stopping = true;
+  if (ls.accept_registered) {
+    ls.poller.del(listen_fd_);
+    ls.accept_registered = false;
+  }
+  // Close the listen socket now so new connects are refused while the
+  // drain runs (the loop is the fd's only user once start() returned).
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  std::vector<std::uint64_t> ids;
+  ids.reserve(ls.conns.size());
+  for (const auto& [id, conn] : ls.conns) ids.push_back(id);
+  for (const std::uint64_t id : ids) {
+    auto it = ls.conns.find(id);
+    if (it == ls.conns.end()) continue;
+    Conn& conn = *it->second;
+    conn.closing = true;
+    if (conn.tickets.empty()) {
+      if (conn.deadline == Clock::time_point{}) {
+        conn.deadline = Clock::now() + kStopFlushBudget;
+        ls.deadlines.emplace_back(conn.deadline, conn.id);
+        std::push_heap(ls.deadlines.begin(), ls.deadlines.end(), deadline_heap_greater);
+      }
+      loop_flush(ls, conn);  // may close and erase conn
+    }
+    // Connections with in-flight queries drain through the completion
+    // path: the last reply arms their deadline.
+  }
+}
+
+int AdrServer::loop_timeout_ms(LoopState& ls) const {
+  Clock::time_point next{};
+  if (ls.accept_paused) next = ls.accept_resume;
+  if (!ls.deadlines.empty()) {
+    const auto top = ls.deadlines.front().first;
+    if (next == Clock::time_point{} || top < next) next = top;
+  }
+  if (next == Clock::time_point{}) return -1;
+  const auto delta =
+      std::chrono::duration_cast<std::chrono::milliseconds>(next - Clock::now());
+  return static_cast<int>(std::clamp<long long>(delta.count() + 1, 0, 60'000));
+}
+
+void AdrServer::loop_expire_deadlines(LoopState& ls) {
+  const auto now = Clock::now();
+  while (!ls.deadlines.empty() && ls.deadlines.front().first <= now) {
+    std::pop_heap(ls.deadlines.begin(), ls.deadlines.end(), deadline_heap_greater);
+    const auto [when, id] = ls.deadlines.back();
+    ls.deadlines.pop_back();
+    auto it = ls.conns.find(id);
+    if (it == ls.conns.end()) continue;       // already closed
+    Conn& conn = *it->second;
+    if (conn.deadline != when) continue;      // re-armed since
+    ADR_DEBUG("server: drain deadline hit, closing fd=" << conn.fd);
+    loop_close(ls, conn);
+  }
+}
+
+// ------------------------------------------------------- accepting
+
+void AdrServer::loop_accept(LoopState& ls) {
+  for (;;) {
+    if (ls.stopping) return;
+    // Injected accept failure (EMFILE-style storm): the pending
+    // connection stays in the backlog; the loop must back off, not spin.
+    if (fault::faults().fires("net.accept")) {
+      loop_accept_error(ls);
+      return;
+    }
+#ifdef ADR_HAVE_EPOLL
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+#else
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+#endif
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        ls.accept_error_streak = 0;
+        return;
+      }
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      loop_accept_error(ls);
+      return;
+    }
+#ifndef ADR_HAVE_EPOLL
+    set_nonblocking(fd);
+#endif
+    ls.accept_error_streak = 0;
+    if (ls.serving_count >= static_cast<std::size_t>(max_connections_)) {
+      loop_refuse(ls, fd);
+      continue;
+    }
+    loop_register(ls, fd);
+  }
+}
+
+void AdrServer::loop_accept_error(LoopState& ls) {
+  server_metrics().accept_errors.add();
+  ++ls.accept_error_streak;
+  auto backoff = kAcceptBackoffBase * (1 << std::min(ls.accept_error_streak - 1, 8));
+  if (backoff > kAcceptBackoffMax) backoff = kAcceptBackoffMax;
+  ADR_WARN("server: accept failed (streak " << ls.accept_error_streak
+                                            << "), backing off "
+                                            << backoff.count() << "ms");
+  if (ls.accept_registered) {
+    ls.poller.del(listen_fd_);
+    ls.accept_registered = false;
+  }
+  ls.accept_paused = true;
+  ls.accept_resume = Clock::now() + backoff;
+}
+
+void AdrServer::loop_register(LoopState& ls, int fd) {
+  auto conn = std::make_unique<Conn>();
+  conn->id = ls.next_conn_id++;
+  conn->fd = fd;
+  conn->client_id = next_client_id_.fetch_add(1);
+  conn->counted = true;
+  Conn* raw = conn.get();
+  ls.conns.emplace(raw->id, std::move(conn));
+  ++ls.serving_count;
+  active_conns_.fetch_add(1);
+  server_metrics().connections_accepted.add();
+  server_metrics().active_connections.add(1);
+  ls.poller.add(fd, raw->id, /*rd=*/true, /*wr=*/false);
+  ADR_DEBUG("server: accepted fd=" << fd << " live=" << ls.serving_count);
+}
+
+void AdrServer::loop_refuse(LoopState& ls, int fd) {
+  // Count before the frame goes out: the busy frame is the client-
+  // visible refusal signal, so the counter must already reflect it by
+  // the time the client decodes it.
+  ++refused_;
+  server_metrics().connections_refused.add();
+  ADR_WARN("server: refused connection, " << ls.serving_count << " active");
+  auto conn = std::make_unique<Conn>();
+  conn->id = ls.next_conn_id++;
+  conn->fd = fd;
+  conn->refused = true;
+  conn->closing = true;
+  Conn* raw = conn.get();
+  ls.conns.emplace(raw->id, std::move(conn));
+  ls.poller.add(fd, raw->id, /*rd=*/true, /*wr=*/false);
   WireResult busy;
   busy.status = Status::make(StatusCode::kBusy, kServerBusyError);
   busy.retry_after_ms = retry_after_hint_ms();
-  write_frame(fd, encode_result(busy));
-  // Graceful close: half-close our side, then drain whatever the client
-  // was still sending so the kernel never answers it with an RST that
-  // would destroy the busy frame before the client reads it.  The drain
-  // is bounded by a receive timeout against stubborn peers.
-  ::shutdown(fd, SHUT_WR);
-  timeval timeout{};
-  timeout.tv_usec = 200 * 1000;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
-  char sink[1024];
-  while (::read(fd, sink, sizeof(sink)) > 0) {
-  }
-  ::close(fd);
+  raw->writer.enqueue(encode_result(busy));
+  raw->deadline = Clock::now() + kCloseDrainBudget;
+  ls.deadlines.emplace_back(raw->deadline, raw->id);
+  std::push_heap(ls.deadlines.begin(), ls.deadlines.end(), deadline_heap_greater);
+  loop_flush(ls, *raw);
 }
 
-void AdrServer::serve_connection(Conn* conn) {
-  const int fd = conn->fd;
-  // Each connection is one FIFO lane in the scheduler: queries on a
-  // connection keep their serial semantics while independent connections
-  // share the worker pool (and, below it, the repository's warm executor
-  // pool and chunk cache).
-  const std::uint64_t client_id = next_client_id_.fetch_add(1);
-  bool refused_busy = false;
-  // Serve frames until the client closes, errors, or stop() half-closes.
-  for (;;) {
-    std::vector<std::byte> payload;
-    if (!read_frame(fd, payload)) break;
-    if (is_stats_request(payload)) {
-      // Stats endpoint: answer in-band and keep the connection open, so
-      // a monitoring client can poll the same socket it queries on.
-      WireStatsReply reply;
-      try {
-        const WireStatsRequest req = decode_stats_request(payload);
-        reply.metrics_json = obs::metrics().snapshot().to_json();
-        if (req.include_trace && obs::tracer().enabled()) {
-          reply.trace_json = obs::tracer().chrome_json();
-        }
-      } catch (const std::exception& e) {
-        ADR_WARN("server: stats request failed: " << e.what());
-        break;
+// ------------------------------------------------------- reading
+
+void AdrServer::loop_readable(LoopState& ls, Conn& conn) {
+  if (conn.closing || conn.lingering) {
+    // No more frames will be served; discard inbound bytes (so the
+    // kernel cannot answer them with an RST that destroys our final
+    // frame) and watch for the peer's close.
+    char sink[4096];
+    for (;;) {
+      const ssize_t r = ::recv(conn.fd, sink, sizeof(sink), 0);
+      if (r == 0) {
+        loop_close(ls, conn);
+        return;
       }
-      server_metrics().stats_requests.add();
-      if (!write_frame(fd, encode_stats_reply(reply))) break;
-      continue;
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        loop_close(ls, conn);
+        return;
+      }
     }
-    WireResult result;
-    std::uint64_t ticket = 0;
+  }
+  const FrameReader::IoStatus st = conn.reader.pump(conn.fd);
+  if (st != FrameReader::IoStatus::kOpen) {
+    // Orderly close or transport error: either way the connection is
+    // done; in-flight tickets are orphaned and their outcomes dropped.
+    loop_close(ls, conn);
+    return;
+  }
+  if (conn.reader.mid_frame()) server_metrics().frames_partial.add();
+  loop_process_frames(ls, conn);
+}
+
+void AdrServer::loop_process_frames(LoopState& ls, Conn& conn) {
+  const std::uint64_t id = conn.id;
+  while (!conn.closing && conn.tickets.size() < kMaxPipelinedPerConn &&
+         conn.writer.queued_bytes() < kMaxQueuedWriteBytes) {
+    std::vector<std::byte> payload;
+    if (!conn.reader.next(payload)) break;
+    // Preserved fault point: a transport failure at the moment a frame
+    // is lifted off the connection (the event-loop twin of the blocking
+    // read_frame() site).
+    if (fault::faults().fires("net.read_frame")) {
+      loop_close(ls, conn);
+      return;
+    }
+    loop_handle_frame(ls, conn, std::move(payload));
+    if (ls.conns.find(id) == ls.conns.end()) return;  // frame handler closed it
+  }
+  loop_update_interest(ls, conn);
+}
+
+void AdrServer::loop_handle_frame(LoopState& ls, Conn& conn,
+                                  std::vector<std::byte> payload) {
+  if (is_stats_request(payload)) {
+    // Stats endpoint: answer in-band and keep the connection open, so a
+    // monitoring client can poll the same socket it queries on.
+    WireStatsReply reply;
     try {
-      // The exec options decoded from the frame travel with the query
-      // through the scheduler to execution.
-      const WireQuery wq = decode_query_frame(payload);
-      ticket = scheduler_.try_enqueue(wq.query, costs_, client_id, wq.options);
-      if (ticket == 0) {
-        // Scheduler saturated: protocol-level refusal, then close.
-        ++queries_refused_;
-        server_metrics().queries_refused.add();
-        ADR_WARN("server: scheduler full, refusing query on fd=" << fd);
-        result.status = Status::make(StatusCode::kBusy, kServerBusyError);
-        result.retry_after_ms = retry_after_hint_ms();
-        refused_busy = true;
-      } else {
-        QuerySubmissionService::Outcome outcome = scheduler_.take(ticket);
-        if (outcome.ok()) {
-          result = to_wire_result(outcome.result);
-          ++served_;
-          server_metrics().queries_served.add();
-        } else {
-          result.status = std::move(outcome.status);
-          ADR_WARN("server: query failed: " << result.status.to_string());
-        }
+      const WireStatsRequest req = decode_stats_request(payload);
+      reply.metrics_json = obs::metrics().snapshot().to_json();
+      if (req.include_trace && obs::tracer().enabled()) {
+        reply.trace_json = obs::tracer().chrome_json();
       }
     } catch (const std::exception& e) {
-      result.status = status_from_exception(e);
-      ADR_WARN("server: query failed: " << e.what());
+      ADR_WARN("server: stats request failed: " << e.what());
+      loop_close(ls, conn);
+      return;
     }
-    // Injected reply drop: the query executed, but the result frame
-    // never leaves the server — the client sees the connection close
-    // mid-query (kUnavailable) and must decide whether to retry.
-    if (fault::faults().fires("net.reply_drop")) {
-      ADR_WARN("server: dropping reply on fd=" << fd << " (injected fault)");
-      break;
+    server_metrics().stats_requests.add();
+    if (!conn.writer.enqueue(encode_stats_reply(reply))) {
+      conn.closing = true;
+      conn.deadline = Clock::now() + kCloseDrainBudget;
+      ls.deadlines.emplace_back(conn.deadline, conn.id);
+      std::push_heap(ls.deadlines.begin(), ls.deadlines.end(), deadline_heap_greater);
     }
-    const bool tracing = obs::tracer().enabled();
-    const std::uint64_t reply_ts = tracing ? obs::tracer().now_us() : 0;
-    const bool wrote = write_frame(fd, encode_result(result));
-    if (tracing && ticket != 0) {
-      // Last span of the query lifecycle: serializing + flushing the
-      // result frame back to the client.
-      obs::TraceEvent ev;
-      ev.name = "reply";
-      ev.query = ticket;
-      ev.ts_us = reply_ts;
-      ev.dur_us = obs::tracer().now_us() - reply_ts;
-      ev.tid = static_cast<std::uint32_t>(ticket);
-      obs::tracer().record(ev);
-    }
-    if (!wrote) break;
-    if (refused_busy) break;
+    loop_flush(ls, conn);
+    return;
   }
-  // Deregister before closing so stop() can never shutdown() a recycled
-  // descriptor; the connection thread is the only closer of its fd.
-  {
-    std::lock_guard lock(conn_mutex_);
-    live_fds_.erase(fd);
+  WireResult result;
+  try {
+    // The exec options decoded from the frame travel with the query
+    // through the scheduler to execution.
+    const WireQuery wq = decode_query_frame(payload);
+    const std::uint64_t ticket =
+        scheduler_.try_enqueue(wq.query, costs_, conn.client_id, wq.options);
+    if (ticket != 0) {
+      conn.tickets.push_back(ticket);
+      ls.ticket_conn.emplace(ticket, conn.id);
+      return;  // the completion hook routes the result back to the loop
+    }
+    // Scheduler saturated: protocol-level refusal, then close.
+    ++queries_refused_;
+    server_metrics().queries_refused.add();
+    ADR_WARN("server: scheduler full, refusing query on fd=" << conn.fd);
+    result.status = Status::make(StatusCode::kBusy, kServerBusyError);
+    result.retry_after_ms = retry_after_hint_ms();
+    loop_reply(ls, conn, result, /*ticket=*/0, /*close_after=*/true);
+    return;
+  } catch (const std::exception& e) {
+    result.status = status_from_exception(e);
+    ADR_WARN("server: query failed: " << e.what());
+  }
+  // Malformed frame: an error result, and the connection survives.
+  loop_reply(ls, conn, result, /*ticket=*/0, /*close_after=*/false);
+}
+
+// ------------------------------------------------------- replying
+
+void AdrServer::loop_reply(LoopState& ls, Conn& conn, const WireResult& result,
+                           std::uint64_t ticket, bool close_after) {
+  // Injected reply drop: the query executed, but the result frame never
+  // leaves the server — the client sees the connection close mid-query
+  // (kUnavailable) and must decide whether to retry.
+  if (fault::faults().fires("net.reply_drop")) {
+    ADR_WARN("server: dropping reply on fd=" << conn.fd << " (injected fault)");
+    loop_close(ls, conn);
+    return;
+  }
+  const bool tracing = obs::tracer().enabled();
+  const std::uint64_t reply_ts = tracing ? obs::tracer().now_us() : 0;
+  const bool queued = conn.writer.enqueue(encode_result(result));
+  if (tracing && ticket != 0) {
+    // Last span of the query lifecycle: serializing the result frame
+    // into the connection's outbound buffer.
+    obs::TraceEvent ev;
+    ev.name = "reply";
+    ev.query = ticket;
+    ev.ts_us = reply_ts;
+    ev.dur_us = obs::tracer().now_us() - reply_ts;
+    ev.tid = static_cast<std::uint32_t>(ticket);
+    obs::tracer().record(ev);
+  }
+  if (queued && result.ok()) {
+    ++served_;
+    server_metrics().queries_served.add();
+  }
+  if (!queued || close_after) {
+    // Injected write fault (flush what was buffered, then die) or a
+    // protocol-level refusal (busy frame is the last thing we say).
+    conn.closing = true;
+    conn.deadline = Clock::now() + kCloseDrainBudget;
+    ls.deadlines.emplace_back(conn.deadline, conn.id);
+    std::push_heap(ls.deadlines.begin(), ls.deadlines.end(), deadline_heap_greater);
+  }
+  loop_flush(ls, conn);
+}
+
+void AdrServer::loop_flush(LoopState& ls, Conn& conn) {
+  if (!conn.writer.idle()) {
+    const FrameWriter::IoStatus st = conn.writer.flush(conn.fd);
+    if (st == FrameWriter::IoStatus::kError) {
+      loop_close(ls, conn);
+      return;
+    }
+  }
+  loop_update_interest(ls, conn);
+  if (conn.writer.idle() && conn.closing && conn.tickets.empty()) {
+    loop_maybe_finish_close(ls, conn);
+  }
+}
+
+void AdrServer::loop_update_interest(LoopState& ls, Conn& conn) {
+  // Closing/lingering connections keep reading to observe the peer's
+  // close; serving connections pause reads while the scheduler or the
+  // outbound buffer is saturated (TCP back-pressure reaches the peer).
+  const bool want_read =
+      conn.closing || conn.lingering ||
+      (conn.tickets.size() < kMaxPipelinedPerConn &&
+       conn.writer.queued_bytes() < kMaxQueuedWriteBytes);
+  const bool want_write = !conn.writer.idle();
+  if (want_read != conn.reading || want_write != conn.writing) {
+    conn.reading = want_read;
+    conn.writing = want_write;
+    ls.poller.mod(conn.fd, conn.id, want_read, want_write);
+  }
+}
+
+void AdrServer::loop_maybe_finish_close(LoopState& ls, Conn& conn) {
+  if (conn.lingering) return;  // already draining; deadline will close
+  if (conn.refused || conn.reader.mid_frame() || conn.reader.frames_ready() > 0) {
+    // The peer has bytes in flight we never consumed (a refused client's
+    // query, a half-delivered frame).  Half-close and discard its input
+    // until it closes or the deadline lands — closing outright would let
+    // the kernel RST our final frame away before the peer reads it.
+    ::shutdown(conn.fd, SHUT_WR);
+    conn.lingering = true;
+    conn.deadline = Clock::now() + kCloseDrainBudget;
+    ls.deadlines.emplace_back(conn.deadline, conn.id);
+    std::push_heap(ls.deadlines.begin(), ls.deadlines.end(), deadline_heap_greater);
+    loop_update_interest(ls, conn);
+    return;
+  }
+  loop_close(ls, conn);
+}
+
+void AdrServer::loop_close(LoopState& ls, Conn& conn) {
+  ls.poller.del(conn.fd);
+  ::close(conn.fd);
+  for (const std::uint64_t t : conn.tickets) ls.ticket_conn.erase(t);
+  if (conn.counted) {
+    --ls.serving_count;
+    active_conns_.fetch_add(-1);
     server_metrics().active_connections.add(-1);
-    ADR_DEBUG("server: connection fd=" << fd << " done, live=" << live_fds_.size());
+    ADR_DEBUG("server: connection fd=" << conn.fd << " done, live=" << ls.serving_count);
   }
-  ::close(fd);
-  conn->done.store(true);
+  ls.conns.erase(conn.id);  // destroys conn — nothing after this line
+}
+
+// ------------------------------------------------------- completions
+
+void AdrServer::loop_drain_completions(LoopState& ls) {
+  std::vector<std::uint64_t> done;
+  {
+    std::lock_guard lock(completion_mutex_);
+    done.swap(completed_tickets_);
+  }
+  for (const std::uint64_t ticket : done) {
+    auto outcome = scheduler_.try_take(ticket);
+    if (!outcome.has_value()) continue;
+    const auto route = ls.ticket_conn.find(ticket);
+    if (route == ls.ticket_conn.end()) continue;  // peer died; outcome dropped
+    auto it = ls.conns.find(route->second);
+    ls.ticket_conn.erase(route);
+    if (it == ls.conns.end()) continue;
+    Conn& conn = *it->second;
+    const auto pos = std::find(conn.tickets.begin(), conn.tickets.end(), ticket);
+    if (pos != conn.tickets.end()) conn.tickets.erase(pos);
+    WireResult result;
+    if (outcome->ok()) {
+      result = to_wire_result(outcome->result);
+    } else {
+      result.status = std::move(outcome->status);
+      ADR_WARN("server: query failed: " << result.status.to_string());
+    }
+    loop_reply(ls, conn, result, ticket, /*close_after=*/false);
+    // loop_reply may have closed the connection (reply drop / flush
+    // error); only then touch it again.
+    auto again = ls.conns.find(route->second);
+    if (again == ls.conns.end()) continue;
+    Conn& still = *again->second;
+    if (still.closing && still.tickets.empty() && still.writer.idle()) {
+      loop_maybe_finish_close(ls, still);
+    } else if (!still.closing) {
+      // Capacity freed: frames the reader buffered while this query ran
+      // can dispatch now.
+      loop_process_frames(ls, still);
+    }
+  }
 }
 
 }  // namespace adr::net

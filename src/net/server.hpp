@@ -4,22 +4,29 @@
 // queries to the back-end... The socket interface is used for sequential
 // clients." (paper sections 1-2)
 //
-// AdrServer listens on a TCP port (loopback by default) and serves each
-// accepted client on its own connection thread: length-prefixed query
-// frames are decoded and routed through the server's
-// QuerySubmissionService worker pool (the paper's query submission
-// service), so server-side execution concurrency is bounded by scheduler
-// slots — not by the connection count — and every client shares the
-// repository's warm executor pool and chunk cache.  The connection
-// thread blocks on its ticket and answers with a result frame carrying
-// the summary and any return-to-client output chunks.
+// AdrServer listens on a TCP port (loopback by default) and serves every
+// accepted client from ONE event-loop thread: all sockets are
+// non-blocking and owned by an epoll (poll on non-Linux) readiness loop,
+// a per-connection FrameReader reassembles length-prefixed query frames
+// from whatever bytes arrive, and each complete frame is handed to the
+// server's QuerySubmissionService worker pool (the paper's query
+// submission service) — so server-side execution concurrency is bounded
+// by scheduler slots and serving concurrency is no longer bounded by a
+// thread per connection.  When a query finishes, the scheduler's
+// completion hook wakes the loop through an eventfd (pipe fallback) and
+// the loop — never a worker thread — serializes the result frame into
+// the connection's FrameWriter and flushes it as the socket accepts.
+// docs/serving.md walks through the architecture, back-pressure path and
+// fd life cycle.
 //
 // Back-pressure is protocol-level: past `max_connections`, or when the
 // scheduler's pending queue is full, the server replies with a
-// WireResult{ok=false, error="server busy"} frame — carrying a
-// retry-after hint derived from the live queue-depth gauge and measured
-// submit latency — and then closes, so clients can distinguish refusal
-// from crash and know when retrying is worth it.
+// WireResult{kBusy, "server busy"} frame — carrying a retry-after hint
+// derived from the live queue-depth gauge and measured submit latency —
+// and then closes, so clients can distinguish refusal from crash and
+// know when retrying is worth it.  All refusal I/O is non-blocking and
+// deadline-bounded: a refused peer that never reads can never stall the
+// loop, stop(), or active_connections().
 //
 // Observability: every connection and query updates the process-wide
 // obs::metrics() registry (server.* series; catalog in
@@ -28,28 +35,25 @@
 // optionally, the query-lifecycle trace — see AdrClient::stats() and
 // the adr_stats CLI tool.
 //
-// fd ownership: each connection's fd is closed only by its connection
-// thread.  stop() never closes a connection fd from outside; it
-// shutdown()s fds still registered in the live set (registration and
-// close are ordered through conn_mutex_, so a shutdown can never hit a
-// recycled descriptor), which unblocks any read so the thread can finish
-// its in-flight query, flush the result, and exit on its own.
+// fd ownership: every client fd is created, registered, and closed by
+// the event-loop thread only.  stop() signals the loop (running_ +
+// wakeup), and the loop finishes in-flight queries, flushes their
+// result frames under a bounded drain deadline, closes everything and
+// exits; stop() then joins it and drains the scheduler.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <list>
-#include <memory>
 #include <mutex>
-#include <string>
 #include <thread>
-#include <unordered_set>
+#include <vector>
 
 #include "core/frontend.hpp"
 #include "core/planner/cost_model.hpp"
 
 namespace adr::net {
+
+struct WireResult;
 
 class AdrServer {
  public:
@@ -67,12 +71,13 @@ class AdrServer {
   AdrServer(const AdrServer&) = delete;
   AdrServer& operator=(const AdrServer&) = delete;
 
-  /// Starts the accept loop on a background thread.
+  /// Starts the event loop on a background thread.
   void start();
 
-  /// Graceful drain: stops accepting, half-closes (SHUT_RD) every live
-  /// connection so in-flight queries still deliver their result frame,
-  /// and joins every connection thread before returning.
+  /// Graceful drain: stops accepting, lets in-flight queries finish and
+  /// flushes their result frames (bounded per-connection drain
+  /// deadlines, so a peer that never reads cannot hold stop() hostage),
+  /// then joins the loop thread and the scheduler workers.
   void stop();
 
   /// The bound port (valid after construction).
@@ -80,8 +85,12 @@ class AdrServer {
 
   std::uint64_t queries_served() const { return served_.load(); }
 
-  /// Connections currently being served.
-  std::size_t active_connections() const;
+  /// Connections currently being served.  Lock-free: the loop maintains
+  /// an atomic count, so this never waits on connection I/O.
+  std::size_t active_connections() const {
+    const std::int64_t n = active_conns_.load();
+    return n > 0 ? static_cast<std::size_t>(n) : 0;
+  }
 
   /// Connections refused because max_connections was reached (each got a
   /// "server busy" frame before the close).
@@ -91,19 +100,36 @@ class AdrServer {
   std::uint64_t queries_refused() const { return queries_refused_.load(); }
 
  private:
-  struct Conn {
-    int fd = -1;
-    std::thread thread;
-    std::atomic<bool> done{false};
-  };
+  struct LoopState;  // event-loop-owned state; lives on the loop's stack
+  struct Conn;       // per-connection state (see server.cpp)
 
-  void accept_loop();
-  void serve_connection(Conn* conn);
-  void reap_finished_locked();  // joins done threads; caller holds conn_mutex_
-  /// Sends a WireResult{ok=false, "server busy"} frame, then closes the
-  /// fd gracefully (half-close + bounded drain, so the frame survives
-  /// a client that is still writing its query).
-  void refuse_with_busy_frame(int fd);
+  void event_loop();
+  /// Signals the loop thread (safe from any thread).
+  void wake();
+  /// Scheduler completion hook: runs on a worker thread, records the
+  /// ticket and wakes the loop — result frames are written only by the
+  /// loop.
+  void on_ticket_done(std::uint64_t ticket);
+
+  // Loop internals (loop thread only; see server.cpp).
+  void loop_accept(LoopState& ls);
+  void loop_accept_error(LoopState& ls);
+  void loop_register(LoopState& ls, int fd);
+  void loop_refuse(LoopState& ls, int fd);
+  void loop_readable(LoopState& ls, Conn& conn);
+  void loop_process_frames(LoopState& ls, Conn& conn);
+  void loop_handle_frame(LoopState& ls, Conn& conn, std::vector<std::byte> payload);
+  void loop_reply(LoopState& ls, Conn& conn, const WireResult& result,
+                  std::uint64_t ticket, bool close_after);
+  void loop_flush(LoopState& ls, Conn& conn);
+  void loop_drain_completions(LoopState& ls);
+  void loop_update_interest(LoopState& ls, Conn& conn);
+  void loop_maybe_finish_close(LoopState& ls, Conn& conn);
+  void loop_close(LoopState& ls, Conn& conn);
+  void loop_begin_stop_drain(LoopState& ls);
+  void loop_expire_deadlines(LoopState& ls);
+  int loop_timeout_ms(LoopState& ls) const;
+
   /// Retry-after estimate for busy refusals: the queue the caller would
   /// sit behind (live scheduler depth gauges) times the measured mean
   /// submit latency, per worker.
@@ -118,18 +144,21 @@ class AdrServer {
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   const int max_connections_;
-  std::thread accept_thread_;
+  std::thread loop_thread_;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> served_{0};
   std::atomic<std::uint64_t> refused_{0};
   std::atomic<std::uint64_t> queries_refused_{0};
   std::atomic<std::uint64_t> next_client_id_{1};
+  std::atomic<std::int64_t> active_conns_{0};
 
-  mutable std::mutex conn_mutex_;
-  std::list<std::unique_ptr<Conn>> conns_;
-  // fds safe to shutdown() from stop(): a connection removes itself
-  // before closing its fd.
-  std::unordered_set<int> live_fds_;
+  /// Wakeup channel: eventfd on Linux (rd == wr), self-pipe elsewhere.
+  int wake_rd_ = -1;
+  int wake_wr_ = -1;
+
+  /// Tickets finished by scheduler workers, awaiting pickup by the loop.
+  std::mutex completion_mutex_;
+  std::vector<std::uint64_t> completed_tickets_;
 };
 
 }  // namespace adr::net

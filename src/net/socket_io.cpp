@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstring>
 
 #include "common/fault.hpp"
 
@@ -35,6 +36,12 @@ bool write_exact(int fd, const std::byte* data, std::size_t n) {
     sent += static_cast<std::size_t>(r);
   }
   return true;
+}
+
+void append_header(std::vector<std::byte>& out, std::uint32_t length) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((length >> (8 * i)) & 0xff));
+  }
 }
 
 }  // namespace
@@ -73,6 +80,114 @@ bool write_frame(int fd, const std::vector<std::byte>& payload) {
     return false;
   }
   return write_exact(fd, payload.data(), payload.size());
+}
+
+// ------------------------------------------------------- FrameReader
+
+bool FrameReader::feed(std::span<const std::byte> data) {
+  if (poisoned_) return false;
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    if (!in_payload_) {
+      // Accumulate the 4-byte length header, possibly across feeds.
+      while (header_bytes_ < 4 && pos < data.size()) {
+        header_[header_bytes_++] = data[pos++];
+      }
+      if (header_bytes_ < 4) return true;
+      std::uint32_t length = 0;
+      for (int i = 0; i < 4; ++i) {
+        length |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(header_[i]))
+                  << (8 * i);
+      }
+      if (length > max_frame_bytes_) {
+        poisoned_ = true;
+        return false;
+      }
+      header_bytes_ = 0;
+      in_payload_ = true;
+      partial_.resize(length);
+      partial_filled_ = 0;
+      if (length == 0) {
+        ready_.push_back({});
+        in_payload_ = false;
+        continue;
+      }
+    }
+    const std::size_t want = partial_.size() - partial_filled_;
+    const std::size_t take = std::min(want, data.size() - pos);
+    std::memcpy(partial_.data() + partial_filled_, data.data() + pos, take);
+    partial_filled_ += take;
+    pos += take;
+    if (partial_filled_ == partial_.size()) {
+      ready_.push_back(std::move(partial_));
+      partial_ = {};
+      partial_filled_ = 0;
+      in_payload_ = false;
+    }
+  }
+  return true;
+}
+
+bool FrameReader::next(std::vector<std::byte>& payload) {
+  if (ready_.empty()) return false;
+  payload = std::move(ready_.front());
+  ready_.pop_front();
+  return true;
+}
+
+FrameReader::IoStatus FrameReader::pump(int fd) {
+  if (poisoned_) return IoStatus::kError;
+  std::byte buf[16 * 1024];
+  for (;;) {
+    const ssize_t r = ::recv(fd, buf, sizeof(buf), 0);
+    if (r == 0) return IoStatus::kClosed;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kOpen;
+      return IoStatus::kError;
+    }
+    if (!feed({buf, static_cast<std::size_t>(r)})) return IoStatus::kError;
+    // A short read means the socket buffer is drained; stop instead of
+    // paying one more syscall just to learn EAGAIN.
+    if (static_cast<std::size_t>(r) < sizeof(buf)) return IoStatus::kOpen;
+  }
+}
+
+// ------------------------------------------------------- FrameWriter
+
+bool FrameWriter::enqueue(const std::vector<std::byte>& payload) {
+  if (poisoned_) return false;
+  // Same injected-failure semantics as write_frame(): refuse before
+  // buffering a byte, or buffer a torn frame and poison the stream.
+  if (fault::faults().fires("net.write_frame")) return false;
+  append_header(buffer_, static_cast<std::uint32_t>(payload.size()));
+  if (!payload.empty() && fault::faults().fires("net.short_write")) {
+    buffer_.insert(buffer_.end(), payload.begin(),
+                   payload.begin() + static_cast<std::ptrdiff_t>(payload.size() / 2));
+    poisoned_ = true;
+    return false;
+  }
+  buffer_.insert(buffer_.end(), payload.begin(), payload.end());
+  return true;
+}
+
+FrameWriter::IoStatus FrameWriter::flush(int fd) {
+  while (offset_ < buffer_.size()) {
+    const ssize_t r = ::send(fd, buffer_.data() + offset_, buffer_.size() - offset_,
+                             MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kOpen;
+      return IoStatus::kError;
+    }
+    offset_ += static_cast<std::size_t>(r);
+  }
+  buffer_.clear();
+  offset_ = 0;
+  // A poisoned backlog (injected short write) fails once the torn
+  // frame is on the wire, so the owner drops the connection and the
+  // peer observes the truncation.
+  return poisoned_ ? IoStatus::kError : IoStatus::kOpen;
 }
 
 }  // namespace adr::net

@@ -3,10 +3,30 @@
 // Every protocol message travels as `u32 length | payload` (little
 // endian).  Frames are capped to keep a malformed peer from driving an
 // unbounded allocation.
+//
+// Two layers share the format:
+//
+//  - read_frame()/write_frame(): the blocking helpers AdrClient (and a
+//    few tests) use — one call, one whole frame, the calling thread
+//    sleeps in recv/send until it is done.
+//  - FrameReader/FrameWriter: the incremental, non-blocking layer the
+//    event-driven AdrServer front end is built on.  A FrameReader
+//    accumulates whatever bytes the socket happens to deliver and hands
+//    out completed frames; a FrameWriter buffers whole outbound frames
+//    and flushes as much as the socket accepts.  Neither ever blocks,
+//    so one event-loop thread can own thousands of connections.
+//
+// Fault points (docs/robustness.md): the blocking helpers evaluate
+// `net.read_frame` / `net.write_frame` / `net.short_write` per call;
+// FrameWriter::enqueue evaluates the two write points with identical
+// semantics (the server's read-side point fires in the event loop when
+// a completed frame is lifted off a connection — see server.cpp).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
+#include <span>
 #include <vector>
 
 namespace adr::net {
@@ -19,5 +39,94 @@ bool read_frame(int fd, std::vector<std::byte>& payload);
 
 /// Writes one frame; returns false on error.
 bool write_frame(int fd, const std::vector<std::byte>& payload);
+
+/// Incremental frame reassembly for non-blocking sockets.
+///
+/// Feed it stream bytes in whatever sized slices arrive — a byte at a
+/// time, several frames at once, cuts straddling the header/payload
+/// boundary — and pop completed frames with next().  A length field
+/// over the cap poisons the reader (the stream can never resynchronize
+/// after a frame it refuses to buffer), mirroring read_frame's
+/// oversized-frame rejection.
+class FrameReader {
+ public:
+  explicit FrameReader(std::uint32_t max_frame_bytes = kMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Consumes `data`, completing as many frames as it contains.
+  /// Returns false once the stream is poisoned (oversized length);
+  /// further bytes are ignored.
+  bool feed(std::span<const std::byte> data);
+
+  /// Pops the oldest completed frame into `payload`; false when none
+  /// is ready.
+  bool next(std::vector<std::byte>& payload);
+
+  /// Completed frames waiting to be popped.
+  std::size_t frames_ready() const { return ready_.size(); }
+
+  /// True while a partially delivered frame (header or payload bytes)
+  /// is buffered.
+  bool mid_frame() const { return header_bytes_ > 0 || in_payload_; }
+
+  /// True after an oversized length field; the connection should be
+  /// dropped.
+  bool poisoned() const { return poisoned_; }
+
+  /// Non-blocking socket pump: recv()s until the socket would block,
+  /// closes, or errors, feeding everything into the reassembler.
+  enum class IoStatus {
+    kOpen,    // drained what was available; connection still live
+    kClosed,  // orderly peer close
+    kError,   // transport error or poisoned stream
+  };
+  IoStatus pump(int fd);
+
+ private:
+  const std::uint32_t max_frame_bytes_;
+  std::byte header_[4] = {};
+  std::size_t header_bytes_ = 0;  // header bytes accumulated so far
+  bool in_payload_ = false;
+  std::vector<std::byte> partial_;     // payload under construction
+  std::size_t partial_filled_ = 0;     // bytes of partial_ received
+  std::deque<std::vector<std::byte>> ready_;
+  bool poisoned_ = false;
+};
+
+/// Incremental frame writer for non-blocking sockets.
+///
+/// enqueue() buffers a whole `u32 length | payload` frame; flush()
+/// pushes as much of the backlog as the socket accepts and never
+/// blocks.  The owner keeps the fd registered for writability while
+/// !idle().
+class FrameWriter {
+ public:
+  /// Queues one frame.  Evaluates the `net.write_frame` (refuse before
+  /// any byte is buffered) and `net.short_write` (buffer the header
+  /// plus half the payload, then poison the stream so the peer sees a
+  /// torn frame once it flushes) fault points exactly like
+  /// write_frame().  Returns false when a fault fired or the writer is
+  /// already poisoned — the connection should be flushed and dropped.
+  bool enqueue(const std::vector<std::byte>& payload);
+
+  enum class IoStatus {
+    kOpen,   // flushed all it could (possibly everything); fd still good
+    kError,  // transport error, or a poisoned backlog fully flushed
+  };
+  /// Sends buffered bytes until the backlog drains or the socket would
+  /// block.
+  IoStatus flush(int fd);
+
+  /// Nothing buffered.
+  bool idle() const { return buffer_.size() == offset_; }
+
+  /// Bytes buffered and not yet accepted by the socket.
+  std::size_t queued_bytes() const { return buffer_.size() - offset_; }
+
+ private:
+  std::vector<std::byte> buffer_;
+  std::size_t offset_ = 0;  // bytes of buffer_ already sent
+  bool poisoned_ = false;   // injected short write: fail after flushing
+};
 
 }  // namespace adr::net

@@ -301,6 +301,10 @@ bool is_stats_request(std::span<const std::byte> payload) {
          static_cast<std::uint8_t>(payload[0]) == kStatsRequestTag;
 }
 
+bool is_result_frame(std::span<const std::byte> payload) {
+  return !payload.empty() && static_cast<std::uint8_t>(payload[0]) == kResultTag;
+}
+
 std::vector<std::byte> encode_stats_request(const WireStatsRequest& request) {
   Writer w;
   w.u8(kStatsRequestTag);

@@ -121,6 +121,13 @@ struct WireStatsReply {
 /// server dispatches without trial decoding).
 bool is_stats_request(std::span<const std::byte> payload);
 
+/// True when `payload` starts like a result frame.  Lets a client that
+/// expected some other reply (e.g. a stats reply) recognize an
+/// out-of-band result — a server at its connection cap answers
+/// *everything* with a busy WireResult — and decode the typed status
+/// instead of failing on an opaque tag mismatch.
+bool is_result_frame(std::span<const std::byte> payload);
+
 std::vector<std::byte> encode_stats_request(const WireStatsRequest& request);
 WireStatsRequest decode_stats_request(std::span<const std::byte> payload);
 

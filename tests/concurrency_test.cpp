@@ -431,7 +431,15 @@ TEST(ConcurrentServer, SchedulerQueueFullRefusesQueryWithBusyFrame) {
                         /*scheduler_workers=*/1, /*max_pending=*/1);
   server.start();
 
-  net::AdrClient holder(server.port());
+  // The holder retries: a probe racing ahead of it can briefly own the
+  // only slot, refusing the gated query — without retries the holder
+  // would give up and nothing would ever occupy the slot.
+  net::RetryPolicy holder_policy;
+  holder_policy.max_attempts = 100;
+  holder_policy.initial_backoff = std::chrono::milliseconds(2);
+  holder_policy.max_backoff = std::chrono::milliseconds(10);
+  holder_policy.honor_retry_after = false;
+  net::AdrClient holder(server.port(), holder_policy);
   Query gated = variant_query(in, out, 3);
   gated.aggregation = "gated-count";
   std::thread held([&]() { holder.submit(gated); });

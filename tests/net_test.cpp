@@ -1,5 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <future>
@@ -11,6 +17,7 @@
 #include "json_check.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "net/socket_io.hpp"
 #include "net/wire.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -698,6 +705,198 @@ TEST(FaultServing, EightClientsSurviveSeededFaultPlanByteIdentically) {
 
   run_experiment();
   run_experiment();  // same seed, same outcome: replayable by design
+}
+
+// ------------------------------------------------ event-loop serving
+//
+// The C10K front end: one thread owns every socket, so these tests pin
+// down the behaviors a thread-per-connection server got for free (and
+// the ones it got wrong).  The EventLoopServing.* suite is a
+// ThreadSanitizer target (see .github/workflows/ci.yml).
+
+/// Plain TCP connect with none of AdrClient's protocol behavior: the
+/// peer for tests that need a client that misbehaves (never reads,
+/// half-sends a frame, or just sits idle).
+int raw_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+TEST(EventLoopServing, ManyIdleConnectionsDoNotStarveServing) {
+  // Hundreds of idle connections parked on the loop while a live client
+  // keeps querying: the loop's readiness model means idle sockets cost
+  // nothing, where thread-per-connection burned a stack each.
+  ServerFixture fx;
+  AdrServer big(fx.repo, /*port=*/0, ComputeCosts{}, /*max_connections=*/512);
+  big.start();
+
+  std::vector<int> idle;
+  for (int i = 0; i < 300; ++i) {
+    const int fd = raw_connect(big.port());
+    ASSERT_GE(fd, 0) << "connect " << i << " failed";
+    idle.push_back(fd);
+  }
+  // The loop accepts asynchronously; wait for the full herd.
+  for (int i = 0; i < 2000 && big.active_connections() < idle.size(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(big.active_connections(), idle.size());
+
+  AdrClient client(big.port());
+  for (int i = 0; i < 3; ++i) {
+    const WireResult result = client.submit(fx.basic_query());
+    ASSERT_TRUE(result.ok()) << result.status.to_string();
+  }
+  EXPECT_EQ(big.queries_served(), 3u);
+
+  for (const int fd : idle) ::close(fd);
+  // The loop notices every close and releases the slots.
+  for (int i = 0; i < 2000 && big.active_connections() > 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_LE(big.active_connections(), 1u);
+  big.stop();
+}
+
+TEST(EventLoopServing, MidFrameClientCloseReleasesTheConnection) {
+  ServerFixture fx;
+  const int fd = raw_connect(fx.server.port());
+  ASSERT_GE(fd, 0);
+  // Promise a 64-byte frame, deliver 10, vanish.
+  std::vector<std::byte> torn(14);
+  torn[0] = std::byte{64};  // little-endian length 64, bytes 1..3 zero
+  ASSERT_EQ(::send(fd, torn.data(), torn.size(), 0),
+            static_cast<ssize_t>(torn.size()));
+  for (int i = 0; i < 1000 && fx.server.active_connections() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ::close(fd);
+  for (int i = 0; i < 2000 && fx.server.active_connections() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(fx.server.active_connections(), 0u);
+  // The half-frame never became a query, and serving is unharmed.
+  EXPECT_EQ(fx.server.queries_served(), 0u);
+  AdrClient client(fx.server.port());
+  EXPECT_TRUE(client.submit(fx.basic_query()).ok());
+}
+
+TEST(EventLoopServing, StopDuringPartialFrameReturnsPromptly) {
+  ServerFixture fx;
+  const int fd = raw_connect(fx.server.port());
+  ASSERT_GE(fd, 0);
+  std::byte half_header[2] = {std::byte{8}, std::byte{0}};
+  ASSERT_EQ(::send(fd, half_header, 2, 0), 2);
+  for (int i = 0; i < 1000 && fx.server.active_connections() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // The peer neither completes its frame nor closes: stop() must cut it
+  // off at the drain deadline, not wait for it.
+  const auto start = std::chrono::steady_clock::now();
+  fx.server.stop();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::milliseconds(1500));
+  EXPECT_EQ(fx.server.active_connections(), 0u);
+  ::close(fd);
+}
+
+TEST(EventLoopServing, RefusedPeerNeverReadsDoesNotBlockActiveConnections) {
+  // Regression: the refusal path once did a blocking busy-frame write
+  // plus an up-to-200ms drain read while holding the connection lock, so
+  // one refused peer that never read froze active_connections() (and
+  // stop()) for the whole drain.  Refusal I/O is now queued, non-blocking
+  // and deadline-bounded, off every lock.
+  ServerFixture fx;
+  AdrServer tight(fx.repo, /*port=*/0, ComputeCosts{}, /*max_connections=*/1);
+  tight.start();
+  AdrClient holder(tight.port());
+  ASSERT_TRUE(holder.submit(fx.basic_query()).ok());  // slot registered
+
+  const int refused = raw_connect(tight.port());
+  ASSERT_GE(refused, 0);
+  // Hammer active_connections() through the refusal's whole drain
+  // window; every call must return immediately.
+  std::chrono::steady_clock::duration worst{};
+  for (int i = 0; i < 60; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_LE(tight.active_connections(), 1u);
+    worst = std::max(worst, std::chrono::steady_clock::now() - t0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_LT(worst, std::chrono::milliseconds(100));
+  EXPECT_GE(tight.connections_refused(), 1u);
+
+  // The busy frame still reached the peer (refusal is an answer, not a
+  // slammed door), even though the peer never read during the drain.
+  std::vector<std::byte> payload;
+  ASSERT_TRUE(read_frame(refused, payload));
+  const WireResult busy = decode_result(payload);
+  EXPECT_TRUE(busy.server_busy());
+  ::close(refused);
+
+  // The holder was never disturbed.
+  EXPECT_TRUE(holder.submit(fx.basic_query()).ok());
+  tight.stop();
+}
+
+TEST(EventLoopServing, AcceptErrorsBackOffAndRecover) {
+  // Regression: persistent accept() failure (the EMFILE storm) used to
+  // busy-spin the accept loop at 100% CPU.  With the injected net.accept
+  // fault the loop must count the errors, back off, and accept the
+  // still-queued connection once the failures stop.
+  ServerFixture fx;
+  const std::uint64_t errors_before =
+      obs::metrics().counter("server.accept_errors").value();
+
+  fault::ScopedFaultPlan plan(/*seed=*/41);
+  fault::FaultSpec accept_fail;
+  accept_fail.trigger = fault::Trigger::kAlways;
+  accept_fail.max_fires = 3;
+  plan.arm("net.accept", accept_fail);
+
+  // The TCP connect lands in the kernel backlog immediately; the query
+  // is served only after the loop survives three injected accept
+  // failures (1+2+4ms of backoff) and accepts for real.
+  AdrClient client(fx.server.port());
+  const WireResult result = client.submit(fx.basic_query());
+  ASSERT_TRUE(result.ok()) << result.status.to_string();
+
+  EXPECT_EQ(fault::faults().stats("net.accept").fires, 3u);
+  EXPECT_EQ(obs::metrics().counter("server.accept_errors").value(),
+            errors_before + 3);
+}
+
+TEST(EventLoopServing, StatsAtCapacityReportsBusyNotWireError) {
+  // Regression: a stats request against a server at its connection cap
+  // is answered with a busy *result* frame; decode_stats_reply used to
+  // throw an opaque "wire: not a stats reply".  The client now surfaces
+  // the typed refusal with the server's retry-after hint.
+  ServerFixture fx;
+  AdrServer tight(fx.repo, /*port=*/0, ComputeCosts{}, /*max_connections=*/1);
+  tight.start();
+  AdrClient holder(tight.port());
+  ASSERT_TRUE(holder.submit(fx.basic_query()).ok());  // slot registered
+
+  AdrClient second(tight.port());
+  try {
+    second.stats();
+    FAIL() << "stats() at the connection cap should throw";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kBusy);
+    EXPECT_NE(std::string(e.what()).find("retry after"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_FALSE(second.connected());
+  tight.stop();
 }
 
 }  // namespace

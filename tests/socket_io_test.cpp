@@ -6,9 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <csignal>
+#include <fcntl.h>
 #include <pthread.h>
 #include <sys/socket.h>
 #include <unistd.h>
+
+#include <span>
 
 #include <atomic>
 #include <cstring>
@@ -187,6 +190,186 @@ TEST(SocketIo, ReadRetriesAfterEintr) {
   EXPECT_TRUE(read_ok.load());
   EXPECT_EQ(got, payload);
   EXPECT_GT(g_sigusr1_count.load(), 0);
+}
+
+// -------------------------------------------------------- FrameReader
+//
+// The incremental reassembler behind the event-loop server: bytes
+// arrive in arbitrary slices and completed frames pop out, without a
+// blocking call anywhere.
+
+std::span<const std::byte> slice(const std::vector<std::byte>& v, std::size_t off,
+                                 std::size_t n) {
+  return {v.data() + off, n};
+}
+
+TEST(FrameReader, ByteAtATimeDelivery) {
+  const auto payload = make_payload(37);
+  std::vector<std::byte> wire = raw_header(37);
+  wire.insert(wire.end(), payload.begin(), payload.end());
+
+  FrameReader reader;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    ASSERT_TRUE(reader.feed(slice(wire, i, 1)));
+    // Mid-frame exactly until the last byte lands.
+    EXPECT_EQ(reader.mid_frame(), i + 1 < wire.size());
+    EXPECT_EQ(reader.frames_ready(), i + 1 < wire.size() ? 0u : 1u);
+  }
+  std::vector<std::byte> got;
+  ASSERT_TRUE(reader.next(got));
+  EXPECT_EQ(got, payload);
+  EXPECT_FALSE(reader.next(got));
+}
+
+TEST(FrameReader, InterleavedFramesInOneFeed) {
+  // Three frames (one empty) delivered as a single slice plus a cut
+  // straddling the last header: all complete frames surface in order.
+  const auto p1 = make_payload(10);
+  const auto p3 = make_payload(23);
+  std::vector<std::byte> wire = raw_header(10);
+  wire.insert(wire.end(), p1.begin(), p1.end());
+  const auto h2 = raw_header(0);
+  wire.insert(wire.end(), h2.begin(), h2.end());
+  const auto h3 = raw_header(23);
+  wire.insert(wire.end(), h3.begin(), h3.end());
+  wire.insert(wire.end(), p3.begin(), p3.end());
+
+  FrameReader reader;
+  // Cut inside frame 3's header: 2 bytes short of completing it.
+  const std::size_t cut = 4 + p1.size() + 4 + 2;
+  ASSERT_TRUE(reader.feed(slice(wire, 0, cut)));
+  EXPECT_EQ(reader.frames_ready(), 2u);
+  EXPECT_TRUE(reader.mid_frame());
+  ASSERT_TRUE(reader.feed(slice(wire, cut, wire.size() - cut)));
+  EXPECT_EQ(reader.frames_ready(), 3u);
+  EXPECT_FALSE(reader.mid_frame());
+
+  std::vector<std::byte> got;
+  ASSERT_TRUE(reader.next(got));
+  EXPECT_EQ(got, p1);
+  ASSERT_TRUE(reader.next(got));
+  EXPECT_TRUE(got.empty());
+  ASSERT_TRUE(reader.next(got));
+  EXPECT_EQ(got, p3);
+}
+
+TEST(FrameReader, OversizedLengthPoisonsTheStream) {
+  FrameReader reader(/*max_frame_bytes=*/1024);
+  const auto good = make_payload(8);
+  std::vector<std::byte> wire = raw_header(8);
+  wire.insert(wire.end(), good.begin(), good.end());
+  const auto bad = raw_header(1025);
+  wire.insert(wire.end(), bad.begin(), bad.end());
+
+  EXPECT_FALSE(reader.feed({wire.data(), wire.size()}));
+  EXPECT_TRUE(reader.poisoned());
+  // The frame completed before the poison is still retrievable; further
+  // bytes are refused.
+  std::vector<std::byte> got;
+  ASSERT_TRUE(reader.next(got));
+  EXPECT_EQ(got, good);
+  EXPECT_FALSE(reader.feed({wire.data(), 1}));
+}
+
+TEST(FrameReader, PumpDrainsSocketAndReportsEagain) {
+  // Non-blocking socketpair: pump() must consume what is buffered,
+  // return kOpen on EAGAIN, and kClosed on orderly close.
+  SocketPair sp;
+  ASSERT_EQ(::fcntl(sp.b, F_SETFL, ::fcntl(sp.b, F_GETFL, 0) | O_NONBLOCK), 0);
+
+  FrameReader reader;
+  // Nothing buffered yet: immediate EAGAIN.
+  EXPECT_EQ(reader.pump(sp.b), FrameReader::IoStatus::kOpen);
+  EXPECT_EQ(reader.frames_ready(), 0u);
+
+  const auto p1 = make_payload(300);
+  const auto p2 = make_payload(77);
+  ASSERT_TRUE(write_frame(sp.a, p1));
+  ASSERT_TRUE(write_frame(sp.a, p2));
+  EXPECT_EQ(reader.pump(sp.b), FrameReader::IoStatus::kOpen);
+  EXPECT_EQ(reader.frames_ready(), 2u);
+  std::vector<std::byte> got;
+  ASSERT_TRUE(reader.next(got));
+  EXPECT_EQ(got, p1);
+  ASSERT_TRUE(reader.next(got));
+  EXPECT_EQ(got, p2);
+
+  sp.close_a();
+  EXPECT_EQ(reader.pump(sp.b), FrameReader::IoStatus::kClosed);
+}
+
+TEST(FrameReader, PumpReportsErrorOnOversizedFrame) {
+  SocketPair sp;
+  ASSERT_EQ(::fcntl(sp.b, F_SETFL, ::fcntl(sp.b, F_GETFL, 0) | O_NONBLOCK), 0);
+  FrameReader reader(/*max_frame_bytes=*/64);
+  const auto header = raw_header(65);
+  ASSERT_EQ(::send(sp.a, header.data(), 4, 0), 4);
+  EXPECT_EQ(reader.pump(sp.b), FrameReader::IoStatus::kError);
+  EXPECT_TRUE(reader.poisoned());
+}
+
+// -------------------------------------------------------- FrameWriter
+
+TEST(FrameWriter, FlushThroughTinySendBufferNeverBlocks) {
+  // Shrink the send buffer so a large frame cannot leave in one send():
+  // flush() must take what the socket accepts, report kOpen, and resume
+  // after the peer drains — the writer never blocks the calling thread.
+  SocketPair sp;
+  const int tiny = 4096;
+  ASSERT_EQ(::setsockopt(sp.a, SOL_SOCKET, SO_SNDBUF, &tiny, sizeof(tiny)), 0);
+  ASSERT_EQ(::fcntl(sp.a, F_SETFL, ::fcntl(sp.a, F_GETFL, 0) | O_NONBLOCK), 0);
+
+  const auto payload = make_payload(512 * 1024);
+  FrameWriter writer;
+  EXPECT_TRUE(writer.idle());
+  ASSERT_TRUE(writer.enqueue(payload));
+  EXPECT_EQ(writer.queued_bytes(), payload.size() + 4);
+
+  // Reader side consumes concurrently; keep flushing until drained.
+  std::vector<std::byte> got;
+  std::thread reader([&]() { ASSERT_TRUE(read_frame(sp.b, got)); });
+  int spins = 0;
+  while (!writer.idle()) {
+    ASSERT_EQ(writer.flush(sp.a), FrameWriter::IoStatus::kOpen);
+    if (!writer.idle()) {
+      ASSERT_LT(++spins, 100000) << "flush made no progress";
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+  reader.join();
+  EXPECT_EQ(got, payload);
+  EXPECT_EQ(writer.queued_bytes(), 0u);
+}
+
+TEST(FrameWriter, BackToBackFramesFlushInOrder) {
+  SocketPair sp;
+  FrameWriter writer;
+  const auto p1 = make_payload(100);
+  const auto p2 = make_payload(0);
+  const auto p3 = make_payload(9);
+  ASSERT_TRUE(writer.enqueue(p1));
+  ASSERT_TRUE(writer.enqueue(p2));
+  ASSERT_TRUE(writer.enqueue(p3));
+  ASSERT_EQ(writer.flush(sp.a), FrameWriter::IoStatus::kOpen);
+  ASSERT_TRUE(writer.idle());
+  std::vector<std::byte> got;
+  ASSERT_TRUE(read_frame(sp.b, got));
+  EXPECT_EQ(got, p1);
+  ASSERT_TRUE(read_frame(sp.b, got));
+  EXPECT_TRUE(got.empty());
+  ASSERT_TRUE(read_frame(sp.b, got));
+  EXPECT_EQ(got, p3);
+}
+
+TEST(FrameWriter, FlushToClosedPeerReportsError) {
+  SocketPair sp;
+  FrameWriter writer;
+  ASSERT_TRUE(writer.enqueue(make_payload(64)));
+  // Close BOTH ends' peer so send() fails (EPIPE, suppressed by
+  // MSG_NOSIGNAL) rather than buffering.
+  ::close(sp.b);
+  sp.b = -1;
+  EXPECT_EQ(writer.flush(sp.a), FrameWriter::IoStatus::kError);
 }
 
 }  // namespace
