@@ -111,15 +111,22 @@ class Poller {
 #endif
   }
 
-  void add(int fd, std::uint64_t tag, bool rd, bool wr) {
+  /// Returns false if the fd could not be registered (ENOMEM/ENOSPC);
+  /// the caller must not expect events for it.
+  [[nodiscard]] bool add(int fd, std::uint64_t tag, bool rd, bool wr) {
 #ifdef ADR_HAVE_EPOLL
     epoll_event ev{};
     ev.events = events_of(rd, wr);
     ev.data.u64 = tag;
-    ::epoll_ctl(ep_, EPOLL_CTL_ADD, fd, &ev);
+    if (::epoll_ctl(ep_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ADR_WARN("server: EPOLL_CTL_ADD failed for fd=" << fd << ": "
+                                                      << std::strerror(errno));
+      return false;
+    }
 #else
     entries_[fd] = Entry{tag, rd, wr};
 #endif
+    return true;
   }
 
   void mod(int fd, std::uint64_t tag, bool rd, bool wr) {
@@ -127,7 +134,10 @@ class Poller {
     epoll_event ev{};
     ev.events = events_of(rd, wr);
     ev.data.u64 = tag;
-    ::epoll_ctl(ep_, EPOLL_CTL_MOD, fd, &ev);
+    if (::epoll_ctl(ep_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+      ADR_WARN("server: EPOLL_CTL_MOD failed for fd=" << fd << ": "
+                                                      << std::strerror(errno));
+    }
 #else
     entries_[fd] = Entry{tag, rd, wr};
 #endif
@@ -243,6 +253,10 @@ struct AdrServer::LoopState {
   std::uint64_t next_conn_id = kFirstConnId;
   std::size_t serving_count = 0;  // counted conns, for the cap check
   bool accept_registered = false;
+  /// False when the wake eventfd/pipe could not be registered: the loop
+  /// then degrades to bounded polling (loop_timeout_ms) so completions
+  /// and stop() still make progress.
+  bool wake_registered = true;
   bool accept_paused = false;
   Clock::time_point accept_resume{};
   int accept_error_streak = 0;
@@ -376,9 +390,15 @@ std::uint32_t AdrServer::retry_after_hint_ms() const {
 
 void AdrServer::event_loop() {
   LoopState ls;
-  ls.poller.add(listen_fd_, kListenTag, /*rd=*/true, /*wr=*/false);
-  ls.accept_registered = true;
-  ls.poller.add(wake_rd_, kWakeTag, /*rd=*/true, /*wr=*/false);
+  ls.accept_registered =
+      ls.poller.add(listen_fd_, kListenTag, /*rd=*/true, /*wr=*/false);
+  if (!ls.accept_registered) {
+    // Retry registration through the accept-backoff path.
+    ls.accept_paused = true;
+    ls.accept_resume = Clock::now() + kAcceptBackoffBase;
+  }
+  ls.wake_registered =
+      ls.poller.add(wake_rd_, kWakeTag, /*rd=*/true, /*wr=*/false);
 
   std::vector<Poller::Ready> events;
   for (;;) {
@@ -388,8 +408,11 @@ void AdrServer::event_loop() {
     // Accept backoff expired: watch the listen socket again.
     if (ls.accept_paused && Clock::now() >= ls.accept_resume && !ls.stopping) {
       ls.accept_paused = false;
-      ls.poller.add(listen_fd_, kListenTag, true, false);
-      ls.accept_registered = true;
+      if (ls.poller.add(listen_fd_, kListenTag, true, false)) {
+        ls.accept_registered = true;
+      } else {
+        loop_accept_error(ls);  // re-arm the backoff
+      }
     }
 
     ls.poller.wait(events, loop_timeout_ms(ls));
@@ -461,10 +484,13 @@ int AdrServer::loop_timeout_ms(LoopState& ls) const {
     const auto top = ls.deadlines.front().first;
     if (next == Clock::time_point{} || top < next) next = top;
   }
-  if (next == Clock::time_point{}) return -1;
+  // Without a working wake fd, bound every wait so completions posted by
+  // worker threads are still drained promptly.
+  const int cap = ls.wake_registered ? 60'000 : 10;
+  if (next == Clock::time_point{}) return ls.wake_registered ? -1 : cap;
   const auto delta =
       std::chrono::duration_cast<std::chrono::milliseconds>(next - Clock::now());
-  return static_cast<int>(std::clamp<long long>(delta.count() + 1, 0, 60'000));
+  return static_cast<int>(std::clamp<long long>(delta.count() + 1, 0, cap));
 }
 
 void AdrServer::loop_expire_deadlines(LoopState& ls) {
@@ -509,6 +535,9 @@ void AdrServer::loop_accept(LoopState& ls) {
     }
 #ifndef ADR_HAVE_EPOLL
     set_nonblocking(fd);
+    // Match the accept4(SOCK_CLOEXEC) path: forked children must not
+    // inherit client sockets.
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
 #endif
     ls.accept_error_streak = 0;
     if (ls.serving_count >= static_cast<std::size_t>(max_connections_)) {
@@ -542,12 +571,17 @@ void AdrServer::loop_register(LoopState& ls, int fd) {
   conn->client_id = next_client_id_.fetch_add(1);
   conn->counted = true;
   Conn* raw = conn.get();
+  if (!ls.poller.add(fd, raw->id, /*rd=*/true, /*wr=*/false)) {
+    // Unregistered fds never receive events; dropping here is the only
+    // alternative to a silent leak.
+    ::close(fd);
+    return;
+  }
   ls.conns.emplace(raw->id, std::move(conn));
   ++ls.serving_count;
   active_conns_.fetch_add(1);
   server_metrics().connections_accepted.add();
   server_metrics().active_connections.add(1);
-  ls.poller.add(fd, raw->id, /*rd=*/true, /*wr=*/false);
   ADR_DEBUG("server: accepted fd=" << fd << " live=" << ls.serving_count);
 }
 
@@ -564,8 +598,11 @@ void AdrServer::loop_refuse(LoopState& ls, int fd) {
   conn->refused = true;
   conn->closing = true;
   Conn* raw = conn.get();
+  if (!ls.poller.add(fd, raw->id, /*rd=*/true, /*wr=*/false)) {
+    ::close(fd);  // refusal already counted; the peer just sees a reset
+    return;
+  }
   ls.conns.emplace(raw->id, std::move(conn));
-  ls.poller.add(fd, raw->id, /*rd=*/true, /*wr=*/false);
   WireResult busy;
   busy.status = Status::make(StatusCode::kBusy, kServerBusyError);
   busy.retry_after_ms = retry_after_hint_ms();
@@ -798,7 +835,8 @@ void AdrServer::loop_drain_completions(LoopState& ls) {
     if (!outcome.has_value()) continue;
     const auto route = ls.ticket_conn.find(ticket);
     if (route == ls.ticket_conn.end()) continue;  // peer died; outcome dropped
-    auto it = ls.conns.find(route->second);
+    const std::uint64_t conn_id = route->second;
+    auto it = ls.conns.find(conn_id);
     ls.ticket_conn.erase(route);
     if (it == ls.conns.end()) continue;
     Conn& conn = *it->second;
@@ -814,7 +852,7 @@ void AdrServer::loop_drain_completions(LoopState& ls) {
     loop_reply(ls, conn, result, ticket, /*close_after=*/false);
     // loop_reply may have closed the connection (reply drop / flush
     // error); only then touch it again.
-    auto again = ls.conns.find(route->second);
+    auto again = ls.conns.find(conn_id);
     if (again == ls.conns.end()) continue;
     Conn& still = *again->second;
     if (still.closing && still.tickets.empty() && still.writer.idle()) {
