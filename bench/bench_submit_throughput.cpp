@@ -7,6 +7,11 @@
 // threads, reads every chunk from its disk file).  Warm = the average of
 // the following --iters identical submits (warm executor, hot cache).
 //
+// An overlapping-range section ablates the marginal cache: sliding
+// windows aligned to output-chunk boundaries, marginal cache on vs a
+// byte-cache-only baseline, reporting warm qps, marginal-hit rate, and
+// the cold reads / aggregate pairs the cached partials eliminate.
+//
 // Also reports per-config warm-submit p50/p99 latency (through an
 // obs::Histogram, the same quantile math the stats endpoint serves) and
 // writes a Chrome trace_event file (--trace-out, default
@@ -148,6 +153,7 @@ ConfigResult run_config(const Args& args, bool reuse_executor, bool cache,
   cfg.storage_dir = dir;
   cfg.reuse_executor = reuse_executor;
   cfg.chunk_cache_bytes_per_node = cache ? (64ull << 20) : 0;
+  cfg.marginal_cache_bytes = 0;  // this matrix ablates executor + byte cache
   Repository repo(cfg);
   const auto in = repo.create_dataset("in", Rect::cube(2, 0.0, 1.0), make_inputs());
   const auto out = repo.create_dataset("out", Rect::cube(2, 0.0, 1.0), make_outputs());
@@ -199,6 +205,107 @@ ConfigResult run_config(const Args& args, bool reuse_executor, bool cache,
   return r;
 }
 
+struct OverlapConfigResult {
+  double cold_qps = 0.0;
+  double warm_qps = 0.0;
+  std::uint64_t warm_cold_reads = 0;       // byte-cache misses, warm passes
+  std::uint64_t warm_aggregate_pairs = 0;  // local-reduction (in,out) pairs
+  std::uint64_t warm_marginal_hits = 0;
+  std::uint64_t warm_marginal_misses = 0;
+  std::uint64_t first_pass_marginal_hits = 0;
+};
+
+struct OverlapResult {
+  int windows = 0;
+  int passes = 0;
+  OverlapConfigResult marginal;  // byte cache + marginal cache
+  OverlapConfigResult baseline;  // byte cache only
+};
+
+// Overlapping-range workload for the marginal cache: three sliding
+// windows of width 0.5 stepping by one output column (0.25), full y
+// extent.  Window edges land exactly on output-chunk boundaries, so
+// every selected output chunk is fully covered and neighbouring
+// windows share the contributing-input sets of their common output
+// columns — window i+1 reuses half of window i's partials already in
+// the cold pass, and repeat passes are fully served from partials.
+// The byte cache is deliberately under-provisioned (128 KiB/node vs a
+// ~2.25 MiB per-window working set) so the byte-cache-only baseline
+// keeps paying interior-chunk cold reads every pass, the regime the
+// marginal cache is for.
+OverlapConfigResult run_overlap_config(const Args& args, bool with_marginal,
+                                       const std::filesystem::path& dir) {
+  RepositoryConfig cfg;
+  cfg.backend = RepositoryConfig::Backend::kThreads;
+  cfg.num_nodes = args.nodes;
+  cfg.memory_per_node = 4ull << 20;
+  cfg.storage_dir = dir;
+  cfg.reuse_executor = true;
+  cfg.chunk_cache_bytes_per_node = 128ull << 10;
+  cfg.marginal_cache_bytes = with_marginal ? (32ull << 20) : 0;
+  Repository repo(cfg);
+  const auto in = repo.create_dataset("in", Rect::cube(2, 0.0, 1.0), make_inputs());
+  const auto out = repo.create_dataset("out", Rect::cube(2, 0.0, 1.0), make_outputs());
+
+  std::vector<Query> windows;
+  for (int i = 0; i < 3; ++i) {
+    Query query;
+    query.input_dataset = in;
+    query.output_dataset = out;
+    const double x0 = 0.25 * i;
+    query.range = Rect(Point{x0, 0.0}, Point{x0 + 0.5, 0.999});
+    query.aggregation = "sum-count-max";
+    query.delivery = adr::OutputDelivery::kReturnToClient;
+    windows.push_back(query);
+  }
+
+  OverlapConfigResult r;
+  std::vector<QueryResult> cold;
+  auto t0 = std::chrono::steady_clock::now();
+  for (const Query& query : windows) {
+    cold.push_back(repo.submit(query));
+    r.first_pass_marginal_hits += cold.back().marginal_hits;
+  }
+  r.cold_qps = windows.size() / seconds_since(t0);
+
+  const int passes = std::max(1, args.iters / 2);
+  t0 = std::chrono::steady_clock::now();
+  for (int pass = 0; pass < passes; ++pass) {
+    for (std::size_t w = 0; w < windows.size(); ++w) {
+      const QueryResult warm = repo.submit(windows[w]);
+      r.warm_cold_reads += warm.cache_misses;
+      r.warm_aggregate_pairs += warm.stats.total_lr_pairs();
+      r.warm_marginal_hits += warm.marginal_hits;
+      r.warm_marginal_misses += warm.marginal_misses;
+      if (warm.outputs.size() != cold[w].outputs.size()) {
+        std::cerr << "bench: overlap warm output count diverged\n";
+        std::exit(1);
+      }
+      for (std::size_t o = 0; o < warm.outputs.size(); ++o) {
+        if (warm.outputs[o].payload() != cold[w].outputs[o].payload()) {
+          std::cerr << "bench: overlap warm result diverged from cold\n";
+          std::exit(1);
+        }
+      }
+    }
+  }
+  r.warm_qps = passes * windows.size() / seconds_since(t0);
+  return r;
+}
+
+OverlapResult run_overlap(const Args& args, const std::filesystem::path& base) {
+  OverlapResult r;
+  r.windows = 3;
+  r.passes = std::max(1, args.iters / 2);
+  const auto dir_m = base / "overlap_marginal";
+  const auto dir_b = base / "overlap_baseline";
+  std::filesystem::create_directories(dir_m);
+  std::filesystem::create_directories(dir_b);
+  r.marginal = run_overlap_config(args, /*with_marginal=*/true, dir_m);
+  r.baseline = run_overlap_config(args, /*with_marginal=*/false, dir_b);
+  return r;
+}
+
 struct BatchedResult {
   int queries = 0;
   int rounds = 0;
@@ -221,7 +328,8 @@ BatchedResult run_batched(const Args& args, const std::filesystem::path& dir) {
   cfg.memory_per_node = 4ull << 20;
   cfg.storage_dir = dir;
   cfg.reuse_executor = true;
-  cfg.chunk_cache_bytes_per_node = 0;  // isolate batch sharing from the cache
+  cfg.chunk_cache_bytes_per_node = 0;  // isolate batch sharing from the caches
+  cfg.marginal_cache_bytes = 0;
   Repository repo(cfg);
   const auto in = repo.create_dataset("in", Rect::cube(2, 0.0, 1.0), make_inputs());
   const auto out = repo.create_dataset("out", Rect::cube(2, 0.0, 1.0), make_outputs());
@@ -336,6 +444,7 @@ int main(int argc, char** argv) {
     std::filesystem::create_directories(dir);
     batched = run_batched(args, dir);
   }
+  const OverlapResult overlap = run_overlap(args, base);
   {
     const auto dir = base / "trace";
     std::filesystem::create_directories(dir);
@@ -364,6 +473,25 @@ int main(int argc, char** argv) {
             << batched.batched_cold_reads << " cold reads ("
             << batched.shared_hits << " shared hits)\n";
 
+  const std::uint64_t overlap_lookups =
+      overlap.marginal.warm_marginal_hits + overlap.marginal.warm_marginal_misses;
+  const double overlap_hit_rate =
+      overlap_lookups == 0
+          ? 0.0
+          : static_cast<double>(overlap.marginal.warm_marginal_hits) /
+                static_cast<double>(overlap_lookups);
+  std::cout << "overlapping ranges (" << overlap.windows << " windows x "
+            << overlap.passes << " warm passes, 128 KiB/node byte cache): "
+            << "marginal " << adr::fmt(overlap.marginal.warm_qps, 2) << " qps / "
+            << overlap.marginal.warm_cold_reads << " cold reads / "
+            << overlap.marginal.warm_aggregate_pairs << " aggregate pairs ("
+            << adr::fmt(overlap_hit_rate * 100.0, 1) << "% marginal hits, "
+            << overlap.marginal.first_pass_marginal_hits
+            << " already in the cold pass), baseline "
+            << adr::fmt(overlap.baseline.warm_qps, 2) << " qps / "
+            << overlap.baseline.warm_cold_reads << " cold reads / "
+            << overlap.baseline.warm_aggregate_pairs << " aggregate pairs\n";
+
   std::ofstream json(args.out_path);
   json << "{\n  \"bench\": \"submit_throughput\",\n"
        << "  \"iters\": " << args.iters << ",\n"
@@ -391,7 +519,29 @@ int main(int argc, char** argv) {
        << ", \"batched_over_serial\": " << batched.batched_qps / batched.serial_qps
        << ", \"serial_cold_reads\": " << batched.serial_cold_reads
        << ", \"batched_cold_reads\": " << batched.batched_cold_reads
-       << ", \"shared_hits\": " << batched.shared_hits << "}\n}\n";
+       << ", \"shared_hits\": " << batched.shared_hits << "},\n";
+  auto overlap_json = [&](const char* name, const OverlapConfigResult& c) {
+    json << "    \"" << name << "\": {\"cold_qps\": " << c.cold_qps
+         << ", \"warm_qps\": " << c.warm_qps
+         << ", \"warm_cold_reads\": " << c.warm_cold_reads
+         << ", \"warm_aggregate_pairs\": " << c.warm_aggregate_pairs
+         << ", \"warm_marginal_hits\": " << c.warm_marginal_hits
+         << ", \"warm_marginal_misses\": " << c.warm_marginal_misses
+         << ", \"first_pass_marginal_hits\": " << c.first_pass_marginal_hits
+         << "}";
+  };
+  json << "  \"overlap\": {\n    \"windows\": " << overlap.windows
+       << ", \"passes\": " << overlap.passes
+       << ", \"marginal_hit_rate\": " << overlap_hit_rate
+       << ", \"warm_speedup\": "
+       << (overlap.baseline.warm_qps > 0.0
+               ? overlap.marginal.warm_qps / overlap.baseline.warm_qps
+               : 0.0)
+       << ",\n";
+  overlap_json("marginal", overlap.marginal);
+  json << ",\n";
+  overlap_json("baseline", overlap.baseline);
+  json << "\n  }\n}\n";
   std::cout << "wrote " << args.out_path << "\n";
 
   // The acceptance bar: with both optimisations on, warm throughput must
@@ -407,6 +557,33 @@ int main(int argc, char** argv) {
   if (batched.batched_cold_reads >= batched.serial_cold_reads) {
     std::cerr << "bench: batched cold reads " << batched.batched_cold_reads
               << " not below serial " << batched.serial_cold_reads << "\n";
+    return 1;
+  }
+  // Marginal-cache acceptance: warm throughput on the overlapping-range
+  // workload must clear 2x the byte-cache-only baseline, and it must get
+  // there by doing strictly less work — fewer interior-chunk cold reads
+  // and fewer local-reduction aggregate pairs, not just faster ones.
+  if (overlap.marginal.warm_qps < 2.0 * overlap.baseline.warm_qps) {
+    std::cerr << "bench: overlap warm qps " << overlap.marginal.warm_qps
+              << " < 2x byte-cache-only baseline " << overlap.baseline.warm_qps
+              << "\n";
+    return 1;
+  }
+  if (overlap.marginal.warm_cold_reads >= overlap.baseline.warm_cold_reads) {
+    std::cerr << "bench: overlap cold reads " << overlap.marginal.warm_cold_reads
+              << " not below baseline " << overlap.baseline.warm_cold_reads
+              << "\n";
+    return 1;
+  }
+  if (overlap.marginal.warm_aggregate_pairs >=
+      overlap.baseline.warm_aggregate_pairs) {
+    std::cerr << "bench: overlap aggregate pairs "
+              << overlap.marginal.warm_aggregate_pairs << " not below baseline "
+              << overlap.baseline.warm_aggregate_pairs << "\n";
+    return 1;
+  }
+  if (overlap.marginal.warm_marginal_hits == 0) {
+    std::cerr << "bench: overlap workload produced no marginal hits\n";
     return 1;
   }
   return 0;

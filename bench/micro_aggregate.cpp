@@ -1,0 +1,110 @@
+// Microbenchmark: AggregationOp inner loops (ROADMAP item 3a).
+//
+// Measures the local-reduction hot path — aggregate() over a uint64
+// chunk payload — in ns/element, plus combine() per call.  The
+// SumCountMax kernel runs four independent accumulator lanes so the
+// adds pipeline; a deliberately naive single-lane reference is measured
+// alongside it to keep the speedup visible in the numbers.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "core/aggregation.hpp"
+#include "storage/chunk.hpp"
+
+namespace {
+
+using adr::AggregationOp;
+using adr::Chunk;
+using adr::ChunkMeta;
+using adr::CountOp;
+using adr::HistogramOp;
+using adr::SumCountMaxOp;
+
+Chunk value_chunk(std::size_t n) {
+  std::vector<std::uint64_t> vals(n);
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (auto& v : vals) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    v = x % 1000;  // inside the histogram's bucket range
+  }
+  std::vector<std::byte> payload(vals.size() * sizeof(std::uint64_t));
+  std::memcpy(payload.data(), vals.data(), payload.size());
+  ChunkMeta meta;
+  meta.bytes = payload.size();
+  return Chunk(meta, std::move(payload));
+}
+
+void run_aggregate(benchmark::State& state, const AggregationOp& op) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Chunk input = value_chunk(n);
+  const ChunkMeta out_meta;
+  std::vector<std::byte> accum = op.initialize(out_meta, nullptr);
+  for (auto _ : state) {
+    op.aggregate(input, out_meta, accum);
+    benchmark::DoNotOptimize(accum.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.counters["ns_per_element"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(n),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+void BM_AggregateSumCountMax(benchmark::State& state) {
+  run_aggregate(state, SumCountMaxOp{});
+}
+BENCHMARK(BM_AggregateSumCountMax)->Arg(1024)->Arg(16384)->Arg(262144);
+
+// Single-lane reference: the pre-unroll kernel, for the speedup ratio.
+void BM_AggregateSumCountMaxScalarRef(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Chunk input = value_chunk(n);
+  std::uint64_t sum = 0, count = 0, max = 0;
+  for (auto _ : state) {
+    for (std::uint64_t v : input.as<std::uint64_t>()) {
+      sum += v;
+      count += 1;
+      max = std::max(max, v);
+    }
+    benchmark::DoNotOptimize(sum);
+    benchmark::DoNotOptimize(count);
+    benchmark::DoNotOptimize(max);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.counters["ns_per_element"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(n),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_AggregateSumCountMaxScalarRef)->Arg(1024)->Arg(16384)->Arg(262144);
+
+void BM_AggregateCount(benchmark::State& state) {
+  run_aggregate(state, CountOp{});
+}
+BENCHMARK(BM_AggregateCount)->Arg(1024)->Arg(262144);
+
+void BM_AggregateHistogram(benchmark::State& state) {
+  run_aggregate(state, HistogramOp{16, 0, 1000});
+}
+BENCHMARK(BM_AggregateHistogram)->Arg(1024)->Arg(16384)->Arg(262144);
+
+void BM_CombineSumCountMax(benchmark::State& state) {
+  SumCountMaxOp op;
+  const ChunkMeta out_meta;
+  std::vector<std::byte> dst = op.initialize(out_meta, nullptr);
+  std::vector<std::byte> src = op.initialize(out_meta, nullptr);
+  for (auto _ : state) {
+    op.combine(dst, src);
+    benchmark::DoNotOptimize(dst.data());
+  }
+}
+BENCHMARK(BM_CombineSumCountMax);
+
+}  // namespace
+
+BENCHMARK_MAIN();

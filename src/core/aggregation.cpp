@@ -37,11 +37,33 @@ void SumCountMaxOp::aggregate(const Chunk& input, const ChunkMeta& out_meta,
   (void)out_meta;
   assert(accum.size() >= sizeof(SumCountMax));
   SumCountMax* a = as_scm(accum);
-  for (std::uint64_t v : input.as<std::uint64_t>()) {
-    a->sum += v;
-    a->count += 1;
-    a->max = std::max(a->max, v);
+  const auto values = input.as<std::uint64_t>();
+  const std::size_t n = values.size();
+  // Four independent accumulator lanes: sums/maxes in separate registers
+  // break the loop-carried dependency chain so the compiler can keep
+  // four adds in flight (or vectorize outright).  u64 addition and max
+  // are associative-commutative, so lane order cannot change the result
+  // — wrapping on overflow included, mod-2^64 addition still commutes.
+  std::uint64_t sum0 = 0, sum1 = 0, sum2 = 0, sum3 = 0;
+  std::uint64_t max0 = 0, max1 = 0, max2 = 0, max3 = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    sum0 += values[i];
+    sum1 += values[i + 1];
+    sum2 += values[i + 2];
+    sum3 += values[i + 3];
+    max0 = std::max(max0, values[i]);
+    max1 = std::max(max1, values[i + 1]);
+    max2 = std::max(max2, values[i + 2]);
+    max3 = std::max(max3, values[i + 3]);
   }
+  for (; i < n; ++i) {
+    sum0 += values[i];
+    max0 = std::max(max0, values[i]);
+  }
+  a->sum += sum0 + sum1 + sum2 + sum3;
+  a->count += n;
+  a->max = std::max(a->max, std::max(std::max(max0, max1), std::max(max2, max3)));
 }
 
 void SumCountMaxOp::combine(std::vector<std::byte>& dst,

@@ -569,6 +569,7 @@ class Engine {
     if (op_ != nullptr) {
       auto it = st.accums.find(o);
       assert(it != st.accums.end());
+      if (options_.accum_sink != nullptr) options_.accum_sink(o, it->second);
       payload = op_->output(output_meta(o), it->second);
     }
     st.accums.erase(o);

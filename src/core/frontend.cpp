@@ -129,10 +129,28 @@ Repository::Repository(const RepositoryConfig& config) : config_(config) {
                static_cast<std::uint64_t>(config_.disks_per_node));
     cache_ = std::make_unique<CachingChunkStore>(*store_, per_disk);
   }
+  // The marginal cache reuses *aggregates* where the chunk cache reuses
+  // bytes; it needs real payloads to have real partials, and like the
+  // chunk cache it must not short-circuit the simulated backend's
+  // modelled I/O.
+  if (config_.backend == RepositoryConfig::Backend::kThreads &&
+      config_.store_payloads && config_.marginal_cache_bytes > 0) {
+    marginal_cache_ = std::make_unique<MarginalCache>(config_.marginal_cache_bytes);
+    // Route every store write through the invalidating decorator so
+    // out-of-band put/erase (repo.store() callers) bump data versions
+    // just like query write-back does — no stale partial survives a
+    // visible payload change.
+    invalidating_store_ = std::make_unique<MarginalInvalidatingStore>(
+        cache_ ? static_cast<ChunkStore&>(*cache_) : *store_, *marginal_cache_);
+  }
 }
 
 ChunkCacheStats Repository::chunk_cache_stats() const {
   return cache_ ? cache_->stats() : ChunkCacheStats{};
+}
+
+MarginalCacheStats Repository::marginal_cache_stats() const {
+  return marginal_cache_ ? marginal_cache_->stats() : MarginalCacheStats{};
 }
 
 ThreadExecutorPool& Repository::thread_pool() {
@@ -264,7 +282,8 @@ Repository::Prepared Repository::prepare_locked(const Query& query,
   return p;
 }
 
-PlannedQuery Repository::plan_prepared(const Prepared& prepared) const {
+PlannedQuery Repository::plan_prepared(const Prepared& prepared,
+                                       QuerySelection* selection) const {
   obs::QueryTracer& tr = obs::tracer();
   const bool tracing = tr.enabled();
   const std::uint64_t qid = obs::trace_query();
@@ -273,7 +292,9 @@ PlannedQuery Repository::plan_prepared(const Prepared& prepared) const {
   const std::uint64_t plan_ts_us = tracing ? tr.now_us() : 0;
   PlannedQuery planned;
   try {
-    planned = plan_query(prepared.request);
+    planned = selection != nullptr
+                  ? plan_query(prepared.request, std::move(*selection))
+                  : plan_query(prepared.request);
   } catch (const StatusError&) {
     throw;
   } catch (const std::exception& e) {
@@ -289,12 +310,187 @@ PlannedQuery Repository::plan_prepared(const Prepared& prepared) const {
   return planned;
 }
 
+Repository::MarginalConsult Repository::consult_marginals_locked(
+    const Prepared& prepared) const {
+  MarginalConsult mc;
+  // Cacheability gate: a real aggregation whose accumulators depend only
+  // on the contributing inputs.  An op that folds the *existing* output
+  // chunk into initialize() has partials we cannot key (the output bytes
+  // mutate outside the signature), so such queries bypass the cache.
+  if (marginal_cache_ == nullptr || prepared.op == nullptr ||
+      prepared.op->requires_existing_output()) {
+    return mc;
+  }
+
+  obs::QueryTracer& tr = obs::tracer();
+  const bool tracing = tr.enabled();
+  const std::uint64_t qid = obs::trace_query();
+  const std::uint64_t ts_us = tracing ? tr.now_us() : 0;
+
+  try {
+    mc.original = select_query_chunks(prepared.request);
+  } catch (const std::exception& e) {
+    // Same failure class plan_prepared would assign: the planning
+    // service (selection is its first phase) refused the query.
+    throw StatusError(StatusCode::kPlanRejected, e.what());
+  }
+  mc.active = true;
+
+  // Signatures: aggregation + map names, output chunk identity under its
+  // shape version, and the sorted contributing input set under each
+  // input dataset's data version.  Sorting canonicalizes away selection
+  // order, so any query inducing the same contributing set hits.
+  const std::string map_name =
+      prepared.map != nullptr ? prepared.map->name() : "identity";
+  const MarginalVersions out_ver = marginal_cache_->versions(prepared.output->id());
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> input_ver;
+  input_ver.reserve(prepared.all_inputs.size());
+  for (const Dataset* ds : prepared.all_inputs) {
+    input_ver.emplace_back(ds->id(), marginal_cache_->versions(ds->id()).data);
+  }
+
+  const QuerySelection& sel = mc.original;
+  const std::size_t num_outputs = sel.selected_outputs.size();
+  mc.keys.reserve(num_outputs);
+  std::vector<char> cached(num_outputs, 0);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> contrib;  // (ds<<32|chunk, ver)
+  for (std::size_t o = 0; o < num_outputs; ++o) {
+    MarginalSignature sig;
+    sig.mix(prepared.op->name());
+    sig.mix(map_name);
+    sig.mix(prepared.output->id());
+    sig.mix(out_ver.shape);
+    sig.mix(sel.selected_outputs[o]);
+    contrib.clear();
+    for (std::uint32_t pos : sel.mapping.out_to_in[o]) {
+      const auto& [ds_id, data_ver] = input_ver[sel.input_dataset_of[pos]];
+      contrib.emplace_back((static_cast<std::uint64_t>(ds_id) << 32) |
+                               sel.selected_inputs[pos],
+                           data_ver);
+    }
+    std::sort(contrib.begin(), contrib.end());
+    sig.mix(static_cast<std::uint64_t>(contrib.size()));
+    for (const auto& [packed, data_ver] : contrib) {
+      sig.mix(packed);
+      sig.mix(data_ver);
+    }
+    mc.keys.push_back(sig.key());
+    if (auto partial = marginal_cache_->lookup(mc.keys.back())) {
+      cached[o] = 1;
+      mc.hits.emplace_back(static_cast<std::uint32_t>(o), std::move(*partial));
+    }
+  }
+
+  // Reduce the selection to the misses.  An input is dropped — and its
+  // bytes counted as saved — when every output it feeds was served; an
+  // input feeding nothing stays, matching the cold plan exactly.
+  if (mc.hits.size() == num_outputs) {
+    mc.fully_cached = true;
+    for (std::size_t pos = 0; pos < sel.selected_inputs.size(); ++pos) {
+      if (sel.mapping.in_to_out[pos].empty()) continue;
+      const Dataset* ds = prepared.all_inputs[sel.input_dataset_of[pos]];
+      mc.bytes_saved += ds->chunk(sel.selected_inputs[pos]).bytes;
+    }
+  } else if (mc.hits.empty()) {
+    mc.reduced = mc.original;
+    mc.executed_orig.resize(num_outputs);
+    for (std::size_t o = 0; o < num_outputs; ++o) {
+      mc.executed_orig[o] = static_cast<std::uint32_t>(o);
+    }
+  } else {
+    std::vector<std::uint32_t> new_out(num_outputs, 0);  // orig -> reduced
+    for (std::size_t o = 0; o < num_outputs; ++o) {
+      if (cached[o]) continue;
+      new_out[o] = static_cast<std::uint32_t>(mc.executed_orig.size());
+      mc.executed_orig.push_back(static_cast<std::uint32_t>(o));
+      mc.reduced.selected_outputs.push_back(sel.selected_outputs[o]);
+    }
+    std::vector<std::uint32_t> new_in(sel.selected_inputs.size(), 0);
+    for (std::size_t pos = 0; pos < sel.selected_inputs.size(); ++pos) {
+      const auto& outs = sel.mapping.in_to_out[pos];
+      const bool needed =
+          outs.empty() ||
+          std::any_of(outs.begin(), outs.end(),
+                      [&](std::uint32_t o) { return !cached[o]; });
+      if (!needed) {
+        const Dataset* ds = prepared.all_inputs[sel.input_dataset_of[pos]];
+        mc.bytes_saved += ds->chunk(sel.selected_inputs[pos]).bytes;
+        continue;
+      }
+      new_in[pos] = static_cast<std::uint32_t>(mc.reduced.selected_inputs.size());
+      mc.reduced.selected_inputs.push_back(sel.selected_inputs[pos]);
+      mc.reduced.input_dataset_of.push_back(sel.input_dataset_of[pos]);
+      std::vector<std::uint32_t> kept;
+      for (std::uint32_t o : outs) {
+        if (!cached[o]) kept.push_back(new_out[o]);
+      }
+      mc.reduced.mapping.in_to_out.push_back(std::move(kept));
+    }
+    mc.reduced.mapping.out_to_in.reserve(mc.executed_orig.size());
+    for (std::uint32_t orig : mc.executed_orig) {
+      std::vector<std::uint32_t> ins;
+      ins.reserve(sel.mapping.out_to_in[orig].size());
+      for (std::uint32_t pos : sel.mapping.out_to_in[orig]) {
+        ins.push_back(new_in[pos]);
+      }
+      mc.reduced.mapping.out_to_in.push_back(std::move(ins));
+    }
+  }
+
+  if (tracing) {
+    tr.record({"marginal", "serving", qid, ts_us, tr.now_us() - ts_us,
+               static_cast<std::uint32_t>(qid), -1});
+  }
+  return mc;
+}
+
+QueryResult Repository::finalize_from_cache_locked(const Query& query,
+                                                   const Prepared& prepared,
+                                                   MarginalConsult& consult,
+                                                   const ExecOptions& exec_options) {
+  QueryResult result;
+  // No plan ran; report the requested strategy (kAuto never chose one).
+  result.strategy =
+      query.strategy == StrategyKind::kAuto ? StrategyKind::kFRA : query.strategy;
+  result.marginal_hits = consult.hits.size();
+
+  const OutputDelivery delivery =
+      query.write_output ? query.delivery : OutputDelivery::kDiscard;
+  bool wrote_back = false;
+  for (auto& [orig, partial] : consult.hits) {
+    const ChunkMeta& meta =
+        prepared.output->chunk(consult.original.selected_outputs[orig]);
+    std::vector<std::byte> payload = prepared.op->output(meta, partial);
+    switch (delivery) {
+      case OutputDelivery::kWriteBack:
+        if (exec_options.write_output) {
+          active_store().put(Chunk(meta, std::move(payload)));
+          wrote_back = true;
+        }
+        break;
+      case OutputDelivery::kReturnToClient:
+        result.outputs.emplace_back(meta, std::move(payload));
+        break;
+      case OutputDelivery::kDiscard:
+        break;
+    }
+  }
+  if (!result.outputs.empty()) {
+    std::sort(result.outputs.begin(), result.outputs.end(),
+              [](const Chunk& a, const Chunk& b) { return a.meta().id < b.meta().id; });
+  }
+  if (wrote_back) marginal_cache_->invalidate_data(query.output_dataset);
+  marginal_cache_->note_bytes_saved(consult.bytes_saved);
+  return result;
+}
+
 QueryResult Repository::execute_planned_locked(const Query& query,
                                                const Prepared& prepared,
                                                PlannedQuery&& planned,
                                                const ComputeCosts& costs,
                                                const ExecOptions& exec_options,
-                                               Executor* gang_executor) {
+                                               Executor* gang_executor,
+                                               MarginalConsult* marginal) {
   obs::QueryTracer& tr = obs::tracer();
   const bool tracing = tr.enabled();
   const std::uint64_t qid = obs::trace_query();
@@ -324,6 +520,38 @@ QueryResult Repository::execute_planned_locked(const Query& query,
     case OutputDelivery::kDiscard:
       options.write_output = false;
       break;
+  }
+
+  // A written-back output dataset has new payload bytes: partials that
+  // aggregated *from* it are stale.  Scope guard, not a tail call — the
+  // engine may have written chunks before a node error rethrows, and
+  // those bytes must invalidate even when the query fails.
+  struct WriteInvalidate {
+    MarginalCache* cache = nullptr;
+    std::uint32_t dataset = 0;
+    ~WriteInvalidate() {
+      if (cache != nullptr) cache->invalidate_data(dataset);
+    }
+  } write_invalidate;
+  if (marginal_cache_ != nullptr && delivery == OutputDelivery::kWriteBack &&
+      options.write_output) {
+    write_invalidate.cache = marginal_cache_.get();
+    write_invalidate.dataset = query.output_dataset;
+  }
+
+  // Marginal publish tap: capture each finalized post-combine
+  // accumulator as the engine produces it.  Publishing waits until
+  // execute_query returns cleanly — a faulted run rethrows before we
+  // get there, so a failed query never publishes (PR 5 containment).
+  const bool marginal_active = marginal != nullptr && marginal->active;
+  std::mutex accum_mutex;
+  std::vector<std::pair<std::uint32_t, std::vector<std::byte>>> captured;
+  if (marginal_active) {
+    options.accum_sink = [&accum_mutex, &captured](
+                             std::uint32_t pos, const std::vector<std::byte>& accum) {
+      std::lock_guard<std::mutex> lock(accum_mutex);
+      captured.emplace_back(pos, accum);
+    };
   }
 
   QueryResult result;
@@ -375,6 +603,38 @@ QueryResult Repository::execute_planned_locked(const Query& query,
     }
   }
 
+  if (marginal_active) {
+    // The run completed cleanly: the captured partials are trustworthy.
+    for (auto& [pos, accum] : captured) {
+      marginal_cache_->publish(marginal->keys[marginal->executed_orig[pos]],
+                               std::move(accum));
+    }
+    result.marginal_hits = marginal->hits.size();
+    result.marginal_misses = marginal->executed_orig.size();
+    marginal_cache_->note_bytes_saved(marginal->bytes_saved);
+    // Merge served partials into this query's delivery alongside the
+    // executed chunks.
+    for (auto& [orig, partial] : marginal->hits) {
+      const ChunkMeta& meta =
+          prepared.output->chunk(marginal->original.selected_outputs[orig]);
+      std::vector<std::byte> payload = prepared.op->output(meta, partial);
+      switch (delivery) {
+        case OutputDelivery::kWriteBack:
+          if (options.write_output) {
+            active_store().put(Chunk(meta, std::move(payload)));
+          }
+          break;
+        case OutputDelivery::kReturnToClient: {
+          std::lock_guard<std::mutex> lock(sink_mutex);
+          delivered.push_back(Chunk(meta, std::move(payload)));
+          break;
+        }
+        case OutputDelivery::kDiscard:
+          break;
+      }
+    }
+  }
+
   if (tracing) {
     tr.record({"execute", "serving", qid, exec_ts_us, tr.now_us() - exec_ts_us,
                static_cast<std::uint32_t>(qid), -1});
@@ -407,9 +667,14 @@ QueryResult Repository::execute_planned_locked(const Query& query,
 QueryResult Repository::submit_locked(const Query& query, const ComputeCosts& costs,
                                       const ExecOptions& exec_options) {
   Prepared prepared = prepare_locked(query, costs);
-  PlannedQuery planned = plan_prepared(prepared);
+  MarginalConsult consult = consult_marginals_locked(prepared);
+  if (consult.fully_cached) {
+    return finalize_from_cache_locked(query, prepared, consult, exec_options);
+  }
+  PlannedQuery planned =
+      plan_prepared(prepared, consult.active ? &consult.reduced : nullptr);
   return execute_planned_locked(query, prepared, std::move(planned), costs, exec_options,
-                                nullptr);
+                                nullptr, consult.active ? &consult : nullptr);
 }
 
 std::vector<SubmitOutcome> Repository::submit_batch(
@@ -456,6 +721,7 @@ void Repository::run_gang_locked(const std::vector<SubmitRequest>& batch,
   struct Member {
     std::size_t index;  // into batch / outcomes
     Prepared prepared;
+    MarginalConsult consult;
     PlannedQuery planned;
     std::chrono::steady_clock::time_point t0;
   };
@@ -465,8 +731,20 @@ void Repository::run_gang_locked(const std::vector<SubmitRequest>& batch,
     const auto t0 = std::chrono::steady_clock::now();
     try {
       Prepared prepared = prepare_locked(batch[i].query, batch[i].costs);
-      PlannedQuery planned = plan_prepared(prepared);
-      members.push_back(Member{i, std::move(prepared), std::move(planned), t0});
+      MarginalConsult consult = consult_marginals_locked(prepared);
+      if (consult.fully_cached) {
+        // Served entirely from cached partials: finalize now and keep it
+        // out of the gang's shared plan.
+        outcomes[i].result =
+            finalize_from_cache_locked(batch[i].query, prepared, consult,
+                                       batch[i].options);
+        record_submit_success(outcomes[i].result, seconds_since(t0));
+        continue;
+      }
+      PlannedQuery planned =
+          plan_prepared(prepared, consult.active ? &consult.reduced : nullptr);
+      members.push_back(
+          Member{i, std::move(prepared), std::move(consult), std::move(planned), t0});
     } catch (const std::exception& e) {
       // One member failing to plan does not sink its gang.
       submit_metrics().errors.add();
@@ -508,7 +786,8 @@ void Repository::run_gang_locked(const std::vector<SubmitRequest>& batch,
       try {
         QueryResult r = execute_planned_locked(
             batch[m.index].query, m.prepared, std::move(m.planned),
-            batch[m.index].costs, batch[m.index].options, &exec);
+            batch[m.index].costs, batch[m.index].options, &exec,
+            m.consult.active ? &m.consult : nullptr);
         const SharedScanStats after = scan.stats();
         r.gang_size = static_cast<std::uint32_t>(members.size());
         r.gang_shared_hits = after.shared_hits - before.shared_hits;
@@ -1005,6 +1284,12 @@ std::size_t Repository::load_catalog(const std::filesystem::path& path) {
     const std::uint32_t id = ds.id();
     next_dataset_id_ = std::max(next_dataset_id_, id + 1);
     if (config_.index != "rtree") ds.build_index(indices_.create(config_.index));
+    // Replacing a dataset changes both what its chunks contain and what
+    // its chunk indices *mean*: kill partials keyed on it as input
+    // (data version) and as output (shape version).
+    if (marginal_cache_ != nullptr && datasets_.contains(id)) {
+      marginal_cache_->invalidate_dataset(id);
+    }
     datasets_.insert_or_assign(id, std::move(ds));
     ++registered;
   }

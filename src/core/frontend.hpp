@@ -61,6 +61,7 @@
 #include "storage/dataset.hpp"
 #include "storage/decluster.hpp"
 #include "storage/disk_store.hpp"
+#include "storage/marginal_cache.hpp"
 #include "storage/shared_scan.hpp"
 
 namespace adr {
@@ -106,6 +107,12 @@ struct RepositoryConfig {
   /// see docs/batching.md).  0 disables batch read sharing — gang
   /// members then execute like serial submits.
   std::uint64_t batch_scan_bytes = 256ull * 1024 * 1024;
+  /// Byte budget for the marginal cache: finalized per-output-chunk
+  /// aggregation partials reused across overlapping queries (thread
+  /// backend with payloads only; see docs/caching.md).  A query whose
+  /// output chunk has the same contributing input set as a cached
+  /// partial skips that chunk's I/O *and* aggregation.  0 disables it.
+  std::uint64_t marginal_cache_bytes = 32ull * 1024 * 1024;
 
   int total_disks() const { return num_nodes * disks_per_node; }
 };
@@ -126,6 +133,11 @@ struct QueryResult {
   std::uint32_t gang_size = 1;
   std::uint64_t gang_shared_hits = 0;
   std::uint64_t gang_cold_reads = 0;
+  /// Marginal-cache attribution: output chunks of this query served
+  /// from cached partials vs executed cold (zeros when the cache is
+  /// disabled or the query is not cacheable; see docs/caching.md).
+  std::uint64_t marginal_hits = 0;
+  std::uint64_t marginal_misses = 0;
   ExecStats stats;
   /// Cost estimates per strategy when the query used kAuto.
   std::vector<std::pair<StrategyKind, CostEstimate>> estimates;
@@ -162,6 +174,7 @@ struct SubmitOutcome {
 ///
 ///   catalog_mutex_  ->  executor pool mutex  ->  chunk cache shard mutex
 ///                   ->  ChunkStore internal mutex  ->  executor internals
+///                   ->  marginal cache version/shard mutexes (leaf)
 ///
 /// Registries (attribute spaces, aggregations, indices) are expected to be
 /// populated before concurrent serving starts; lookups are read-only.
@@ -184,6 +197,11 @@ class Repository {
   const CachingChunkStore* chunk_cache() const { return cache_.get(); }
   /// Cache counters so far (zeros when the cache is disabled).
   ChunkCacheStats chunk_cache_stats() const;
+
+  /// The marginal (aggregate-reuse) cache, or nullptr when disabled.
+  const MarginalCache* marginal_cache() const { return marginal_cache_.get(); }
+  /// Marginal-cache counters so far (zeros when disabled).
+  MarginalCacheStats marginal_cache_stats() const;
 
   /// Executor-pool counters so far (zeros before the first thread-backend
   /// submit or when reuse_executor is off).
@@ -248,17 +266,57 @@ class Repository {
     PlanRequest request;
   };
 
+  /// Outcome of consulting the marginal cache for one prepared query
+  /// (docs/caching.md): the chunk selection, per-output-chunk
+  /// signatures, the partials served from cache, and the selection
+  /// reduced to the misses.
+  struct MarginalConsult {
+    /// Cache consulted for this query (gates merge and publish).
+    bool active = false;
+    /// Every output chunk was served — skip planning and execution.
+    bool fully_cached = false;
+    /// Signature per original output position (publish keys).
+    std::vector<MarginalKey> keys;
+    /// Served partials: (original output position, accumulator bytes).
+    std::vector<std::pair<std::uint32_t, std::vector<std::byte>>> hits;
+    /// Original output position per reduced-plan position.
+    std::vector<std::uint32_t> executed_orig;
+    /// The full selection, kept to finalize served chunks.
+    QuerySelection original;
+    /// Selection covering only the misses, ready for plan_query.
+    QuerySelection reduced;
+    /// Input payload bytes whose read and aggregation were skipped.
+    std::uint64_t bytes_saved = 0;
+  };
+
   Prepared prepare_locked(const Query& query, const ComputeCosts& costs) const;
+  /// Selects the query's chunks and looks every output-chunk signature
+  /// up in the marginal cache.  Inactive (and selection-free) when the
+  /// cache is off or the query is not cacheable (no aggregation op, op
+  /// reads existing output).
+  MarginalConsult consult_marginals_locked(const Prepared& prepared) const;
+  /// Finalizes a fully-cached query straight from served partials: no
+  /// plan, no executor, only op->output per chunk plus delivery.
+  QueryResult finalize_from_cache_locked(const Query& query, const Prepared& prepared,
+                                         MarginalConsult& consult,
+                                         const ExecOptions& exec_options);
   /// Runs the planning service on a prepared query (metrics + trace
   /// spans included); failures become StatusError{kPlanRejected}.
-  PlannedQuery plan_prepared(const Prepared& prepared) const;
+  /// `selection` non-null plans that (possibly reduced) selection
+  /// instead of selecting from scratch; it is consumed.
+  PlannedQuery plan_prepared(const Prepared& prepared,
+                             QuerySelection* selection = nullptr) const;
   /// Executes a planned query.  `gang_executor` non-null routes
   /// execution through the gang's shared executor (batch path) instead
-  /// of the pool; per-query attribution is unchanged.
+  /// of the pool; per-query attribution is unchanged.  `marginal`
+  /// non-null (and active) merges served partials into the delivery,
+  /// publishes the executed chunks' partials on success, and fills the
+  /// marginal_hits/marginal_misses attribution.
   QueryResult execute_planned_locked(const Query& query, const Prepared& prepared,
                                      PlannedQuery&& planned, const ComputeCosts& costs,
                                      const ExecOptions& exec_options,
-                                     Executor* gang_executor);
+                                     Executor* gang_executor,
+                                     MarginalConsult* marginal);
   QueryResult submit_locked(const Query& query, const ComputeCosts& costs,
                             const ExecOptions& exec_options);
   /// Executes one gang (>= 2 members, thread backend) over a shared-scan
@@ -266,8 +324,14 @@ class Repository {
   void run_gang_locked(const std::vector<SubmitRequest>& batch,
                        const std::vector<std::size_t>& indices,
                        std::vector<SubmitOutcome>& outcomes);
-  ChunkStore& active_store() { return cache_ ? *cache_ : *store_; }
-  const ChunkStore& active_store() const { return cache_ ? *cache_ : *store_; }
+  ChunkStore& active_store() {
+    if (invalidating_store_ != nullptr) return *invalidating_store_;
+    return cache_ ? static_cast<ChunkStore&>(*cache_) : *store_;
+  }
+  const ChunkStore& active_store() const {
+    if (invalidating_store_ != nullptr) return *invalidating_store_;
+    return cache_ ? static_cast<const ChunkStore&>(*cache_) : *store_;
+  }
   /// Lazily creates the shared executor pool (thread backend only).
   ThreadExecutorPool& thread_pool();
 
@@ -275,6 +339,12 @@ class Repository {
   std::unique_ptr<ChunkStore> store_;
   /// Decorates store_ when chunk_cache_bytes_per_node > 0 (threads).
   std::unique_ptr<CachingChunkStore> cache_;
+  /// Cross-query aggregate reuse when marginal_cache_bytes > 0
+  /// (threads backend with payloads; see docs/caching.md).
+  std::unique_ptr<MarginalCache> marginal_cache_;
+  /// Outermost store decorator when the marginal cache is on: bumps
+  /// data versions on put/erase so out-of-band writes invalidate.
+  std::unique_ptr<MarginalInvalidatingStore> invalidating_store_;
   AttributeSpaceService spaces_;
   AggregationService aggregations_;
   IndexRegistry indices_;

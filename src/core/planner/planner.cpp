@@ -87,20 +87,11 @@ void populate_plan(QueryPlan& plan, const PlannerInput& in) {
   finalize_plan_stats(plan, in);
 }
 
-PlannedQuery plan_query(const PlanRequest& request) {
-  if (request.input == nullptr || request.output == nullptr) {
-    throw std::invalid_argument("plan_query: missing dataset");
-  }
-  if (request.num_nodes < 1 || request.memory_per_node == 0) {
-    throw std::invalid_argument("plan_query: bad machine description");
-  }
-  if (!request.range.valid()) {
-    throw std::invalid_argument("plan_query: invalid query range");
-  }
+namespace {
 
-  PlannedQuery result;
-
-  // --- selection through the indexing service (all input datasets).
+/// [input, extra_inputs...] with the null/dimensionality validation both
+/// phases rely on.
+std::vector<const Dataset*> collect_inputs(const PlanRequest& request) {
   std::vector<const Dataset*> inputs;
   inputs.push_back(request.input);
   for (const Dataset* extra : request.extra_inputs) {
@@ -110,6 +101,23 @@ PlannedQuery plan_query(const PlanRequest& request) {
     }
     inputs.push_back(extra);
   }
+  return inputs;
+}
+
+}  // namespace
+
+QuerySelection select_query_chunks(const PlanRequest& request) {
+  if (request.input == nullptr || request.output == nullptr) {
+    throw std::invalid_argument("plan_query: missing dataset");
+  }
+  if (!request.range.valid()) {
+    throw std::invalid_argument("plan_query: invalid query range");
+  }
+
+  QuerySelection result;
+
+  // --- selection through the indexing service (all input datasets).
+  const std::vector<const Dataset*> inputs = collect_inputs(request);
   for (std::size_t ordinal = 0; ordinal < inputs.size(); ++ordinal) {
     for (std::uint32_t c : inputs[ordinal]->find_chunks(request.range)) {
       result.selected_inputs.push_back(c);
@@ -139,6 +147,38 @@ PlannedQuery plan_query(const PlanRequest& request) {
     out_mbrs.push_back(request.output->chunk(c).mbr);
   }
   result.mapping = build_mapping(in_mbrs, out_mbrs, request.map);
+  return result;
+}
+
+PlannedQuery plan_query(const PlanRequest& request, QuerySelection selection) {
+  if (request.input == nullptr || request.output == nullptr) {
+    throw std::invalid_argument("plan_query: missing dataset");
+  }
+  if (request.num_nodes < 1 || request.memory_per_node == 0) {
+    throw std::invalid_argument("plan_query: bad machine description");
+  }
+  if (selection.selected_outputs.empty()) {
+    throw std::invalid_argument("plan_query: query selects no output chunks");
+  }
+  if (selection.input_dataset_of.size() != selection.selected_inputs.size() ||
+      selection.mapping.in_to_out.size() != selection.selected_inputs.size() ||
+      selection.mapping.out_to_in.size() != selection.selected_outputs.size()) {
+    throw std::invalid_argument("plan_query: inconsistent selection");
+  }
+
+  const std::vector<const Dataset*> inputs = collect_inputs(request);
+
+  PlannedQuery result;
+  result.selected_inputs = std::move(selection.selected_inputs);
+  result.input_dataset_of = std::move(selection.input_dataset_of);
+  result.selected_outputs = std::move(selection.selected_outputs);
+  result.mapping = std::move(selection.mapping);
+
+  std::vector<Rect> out_mbrs;
+  out_mbrs.reserve(result.selected_outputs.size());
+  for (std::uint32_t c : result.selected_outputs) {
+    out_mbrs.push_back(request.output->chunk(c).mbr);
+  }
 
   // --- planner input.
   PlannerInput in;
@@ -209,6 +249,10 @@ PlannedQuery plan_query(const PlanRequest& request) {
   result.output_bytes = std::move(in.output_bytes);
   result.accum_bytes = std::move(in.accum_bytes);
   return result;
+}
+
+PlannedQuery plan_query(const PlanRequest& request) {
+  return plan_query(request, select_query_chunks(request));
 }
 
 }  // namespace adr

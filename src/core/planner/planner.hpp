@@ -48,6 +48,22 @@ struct PlanRequest {
   MachineParams machine;
 };
 
+/// Phase-one output: which chunks the query touches and how they map,
+/// before any strategy decision.  Separated from plan_query so callers
+/// (the marginal cache's consult step in Repository) can reduce the
+/// selection — dropping output chunks already satisfied from cached
+/// partials and the input chunks only they needed — and then plan the
+/// remainder as if it were the whole query.
+struct QuerySelection {
+  /// Dataset chunk index per selected position.
+  std::vector<std::uint32_t> selected_inputs;
+  /// Which input dataset each selected position came from (ordinal into
+  /// [input, extra_inputs...]).
+  std::vector<std::uint16_t> input_dataset_of;
+  std::vector<std::uint32_t> selected_outputs;
+  ChunkMapping mapping;
+};
+
 /// A plan plus the selection context the execution service needs.
 struct PlannedQuery {
   QueryPlan plan;
@@ -68,7 +84,18 @@ struct PlannedQuery {
   std::vector<std::pair<StrategyKind, CostEstimate>> estimates;
 };
 
-/// Plans the query.  Throws std::invalid_argument on malformed requests.
+/// Phase one: chunk selection through the indexing service plus the
+/// chunk-level mapping.  Throws std::invalid_argument on malformed
+/// requests (missing datasets, invalid range, no output chunks).
+QuerySelection select_query_chunks(const PlanRequest& request);
+
+/// Phase two: tiling order + strategy dispatch over a selection (from
+/// select_query_chunks, possibly reduced by the caller).  The selection
+/// must be non-empty and internally consistent with `request`.
+PlannedQuery plan_query(const PlanRequest& request, QuerySelection selection);
+
+/// Plans the query in one step (select + plan).  Throws
+/// std::invalid_argument on malformed requests.
 PlannedQuery plan_query(const PlanRequest& request);
 
 /// Maps a global disk index to its node for a farm with `disks_per_node`.

@@ -1,0 +1,205 @@
+#include "storage/marginal_cache.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "obs/metrics.hpp"
+
+namespace adr {
+namespace {
+
+// Process-wide cumulative series folding every marginal-cache instance
+// (metric catalog: docs/observability.md, keying: docs/caching.md).
+struct MarginalMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& publishes;
+  obs::Counter& evictions;
+  obs::Counter& invalidations;
+  obs::Counter& bytes_saved;
+  obs::Gauge& resident_bytes;
+  obs::Gauge& resident_entries;
+};
+
+MarginalMetrics& marginal_metrics() {
+  static MarginalMetrics m{
+      obs::metrics().counter("cache.marginal.hits"),
+      obs::metrics().counter("cache.marginal.misses"),
+      obs::metrics().counter("cache.marginal.publishes"),
+      obs::metrics().counter("cache.marginal.evictions"),
+      obs::metrics().counter("cache.marginal.invalidations"),
+      obs::metrics().counter("cache.marginal.bytes_saved"),
+      obs::metrics().gauge("cache.marginal.resident_bytes"),
+      obs::metrics().gauge("cache.marginal.resident_entries")};
+  return m;
+}
+
+// splitmix64 finalizer: full-avalanche 64-bit permutation, the same
+// primitive the fault registry's per-point streams use.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+// Two lanes seeded with distinct constants; every mixed field perturbs
+// both through independent permutations, so the lanes stay uncorrelated
+// and the pair behaves as a 128-bit digest.
+MarginalSignature::MarginalSignature()
+    : hi_(0x243f6a8885a308d3ull),  // pi fractional bits
+      lo_(0x13198a2e03707344ull) {}
+
+void MarginalSignature::mix(std::uint64_t value) {
+  hi_ = mix64(hi_ ^ value);
+  lo_ = mix64(lo_ + (value ^ 0xa5a5a5a5a5a5a5a5ull));
+}
+
+void MarginalSignature::mix(std::string_view text) {
+  // Length first so "ab"+"c" and "a"+"bc" digest differently.
+  mix(static_cast<std::uint64_t>(text.size()));
+  std::uint64_t word = 0;
+  int filled = 0;
+  for (unsigned char c : text) {
+    word = (word << 8) | c;
+    if (++filled == 8) {
+      mix(word);
+      word = 0;
+      filled = 0;
+    }
+  }
+  if (filled > 0) mix(word);
+}
+
+MarginalCache::MarginalCache(std::uint64_t byte_budget, int num_shards)
+    : byte_budget_(byte_budget) {
+  if (num_shards < 1) num_shards = 1;
+  bytes_per_shard_ = std::max<std::uint64_t>(
+      byte_budget_ / static_cast<std::uint64_t>(num_shards), kEntryOverheadBytes);
+  shards_.reserve(static_cast<std::size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+MarginalCache::~MarginalCache() {
+  // Residency gauges are process-wide; give back what this instance
+  // still holds so a destroyed repository doesn't leak phantom bytes.
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    marginal_metrics().resident_bytes.add(-static_cast<std::int64_t>(shard->bytes));
+    marginal_metrics().resident_entries.add(
+        -static_cast<std::int64_t>(shard->entries.size()));
+  }
+}
+
+void MarginalCache::remove_locked(Shard& shard, const MarginalKey& key) const {
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) return;
+  shard.bytes -= it->second.charged_bytes;
+  marginal_metrics().resident_bytes.add(
+      -static_cast<std::int64_t>(it->second.charged_bytes));
+  marginal_metrics().resident_entries.add(-1);
+  shard.lru.erase(it->second.lru_pos);
+  shard.entries.erase(it);
+}
+
+std::optional<std::vector<std::byte>> MarginalCache::lookup(const MarginalKey& key) {
+  Shard& shard = shard_of(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    ++shard.misses;
+    marginal_metrics().misses.add();
+    return std::nullopt;
+  }
+  ++shard.hits;
+  marginal_metrics().hits.add();
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+  return it->second.partial;
+}
+
+void MarginalCache::publish(const MarginalKey& key, std::vector<std::byte> partial) {
+  const std::uint64_t cost =
+      static_cast<std::uint64_t>(partial.size()) + kEntryOverheadBytes;
+  Shard& shard = shard_of(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  remove_locked(shard, key);            // refresh: drop any stale copy
+  if (cost > bytes_per_shard_) return;  // larger than the shard budget
+  while (shard.bytes + cost > bytes_per_shard_) {
+    assert(!shard.lru.empty());
+    remove_locked(shard, shard.lru.back());
+    ++shard.evictions;
+    marginal_metrics().evictions.add();
+  }
+  shard.lru.push_front(key);
+  Entry entry{std::move(partial), shard.lru.begin(), cost};
+  shard.bytes += cost;
+  shard.entries.emplace(key, std::move(entry));
+  ++shard.publishes;
+  marginal_metrics().publishes.add();
+  marginal_metrics().resident_bytes.add(static_cast<std::int64_t>(cost));
+  marginal_metrics().resident_entries.add(1);
+}
+
+MarginalVersions MarginalCache::versions(std::uint32_t dataset_id) const {
+  std::lock_guard<std::mutex> lock(version_mutex_);
+  auto it = versions_.find(dataset_id);
+  return it == versions_.end() ? MarginalVersions{} : it->second;
+}
+
+void MarginalCache::invalidate_data(std::uint32_t dataset_id) {
+  std::lock_guard<std::mutex> lock(version_mutex_);
+  ++versions_[dataset_id].data;
+  ++invalidations_;
+  marginal_metrics().invalidations.add();
+}
+
+void MarginalCache::invalidate_dataset(std::uint32_t dataset_id) {
+  std::lock_guard<std::mutex> lock(version_mutex_);
+  MarginalVersions& v = versions_[dataset_id];
+  ++v.data;
+  ++v.shape;
+  ++invalidations_;
+  marginal_metrics().invalidations.add();
+}
+
+void MarginalCache::note_bytes_saved(std::uint64_t bytes) {
+  if (bytes == 0) return;
+  marginal_metrics().bytes_saved.add(bytes);
+  std::lock_guard<std::mutex> lock(version_mutex_);
+  bytes_saved_ += bytes;
+}
+
+MarginalCacheStats MarginalCache::stats() const {
+  MarginalCacheStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total.hits += shard->hits;
+    total.misses += shard->misses;
+    total.publishes += shard->publishes;
+    total.evictions += shard->evictions;
+    total.resident_bytes += shard->bytes;
+    total.resident_entries += shard->entries.size();
+  }
+  std::lock_guard<std::mutex> lock(version_mutex_);
+  total.invalidations = invalidations_;
+  total.bytes_saved = bytes_saved_;
+  return total;
+}
+
+void MarginalCache::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    marginal_metrics().resident_bytes.add(-static_cast<std::int64_t>(shard->bytes));
+    marginal_metrics().resident_entries.add(
+        -static_cast<std::int64_t>(shard->entries.size()));
+    shard->lru.clear();
+    shard->entries.clear();
+    shard->bytes = 0;
+  }
+}
+
+}  // namespace adr

@@ -23,8 +23,11 @@ RepositoryConfig thread_config(int nodes) {
   cfg.memory_per_node = 1 << 20;
   // The chunk cache would also dedup repeat reads; disable it so every
   // backing-store fetch in these tests is a true cold read and the
-  // serial-vs-gang comparison isolates batch sharing.
+  // serial-vs-gang comparison isolates batch sharing.  The marginal
+  // cache would go further and skip repeat members' execution entirely
+  // (shrinking gangs) — same reasoning, its serving has its own suites.
   cfg.chunk_cache_bytes_per_node = 0;
+  cfg.marginal_cache_bytes = 0;
   return cfg;
 }
 

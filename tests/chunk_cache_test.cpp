@@ -233,6 +233,10 @@ RepositoryConfig cached_thread_config() {
   cfg.backend = RepositoryConfig::Backend::kThreads;
   cfg.num_nodes = 2;
   cfg.memory_per_node = 1 << 20;
+  // These suites pin the byte-cache layer: keep the marginal cache out
+  // of the way so repeated queries actually re-read their inputs
+  // (marginal-cache serving has its own suites in marginal_cache_test).
+  cfg.marginal_cache_bytes = 0;
   return cfg;
 }
 

@@ -292,7 +292,9 @@ struct ServerFixture {
 
   /// `cache_bytes_per_node` sizes the cross-query chunk cache; 0
   /// disables it (fault tests disable it so every fetch exercises the
-  /// storage.fetch point instead of being served warm).
+  /// storage.fetch point instead of being served warm).  The marginal
+  /// cache follows the same knob: a repeated query it serves from
+  /// cached partials would skip the storage path entirely.
   explicit ServerFixture(std::uint64_t cache_bytes_per_node = 64ull << 20)
       : repo([cache_bytes_per_node] {
           RepositoryConfig cfg;
@@ -300,6 +302,7 @@ struct ServerFixture {
           cfg.num_nodes = 2;
           cfg.memory_per_node = 1 << 20;
           cfg.chunk_cache_bytes_per_node = cache_bytes_per_node;
+          cfg.marginal_cache_bytes = cache_bytes_per_node;
           return cfg;
         }()),
         server(repo, /*port=*/0) {

@@ -3,6 +3,8 @@
 // Connects to the server's socket port, sends a stats-request frame
 // (wire protocol v3) and prints the metrics snapshot JSON to stdout —
 // pipe it through `python3 -m json.tool` or `jq` for a readable view.
+// A short cache summary (byte-cache and marginal-cache hit ratios as
+// percentages) goes to stderr so stdout stays machine-parseable.
 // With --trace, also asks for the query-lifecycle trace and writes it
 // as Chrome trace_event JSON to the given file; open that file in
 // Perfetto (https://ui.perfetto.dev) or chrome://tracing.  The trace is
@@ -12,9 +14,11 @@
 // Usage:
 //   adr_stats <port>                    print metrics JSON
 //   adr_stats <port> --trace out.json   also save the Chrome trace
+#include <cctype>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <string>
 
@@ -25,6 +29,43 @@ namespace {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0 << " <port> [--trace <out.json>]\n";
   return 2;
+}
+
+// Pulls a numeric counter out of the flat metrics snapshot JSON.
+// Counter names are globally unique in the snapshot, so a plain
+// substring search on the quoted key is unambiguous.
+double counter_value(const std::string& json, const std::string& name) {
+  const std::string key = "\"" + name + "\":";
+  const std::size_t at = json.find(key);
+  if (at == std::string::npos) return 0.0;
+  std::size_t i = at + key.size();
+  while (i < json.size() && std::isspace(static_cast<unsigned char>(json[i]))) {
+    ++i;
+  }
+  return std::strtod(json.c_str() + i, nullptr);
+}
+
+// Human summary of the two serving-path cache layers (docs/caching.md),
+// printed to stderr so stdout stays pipeable JSON.
+void print_cache_summary(const std::string& json) {
+  const auto ratio_line = [](const char* label, double hits, double misses) {
+    const double lookups = hits + misses;
+    std::cerr << label << ": ";
+    if (lookups <= 0.0) {
+      std::cerr << "no lookups\n";
+      return;
+    }
+    std::cerr << std::fixed << std::setprecision(1)
+              << (100.0 * hits / lookups) << "% hit ratio ("
+              << static_cast<std::uint64_t>(hits) << " hits / "
+              << static_cast<std::uint64_t>(lookups) << " lookups)\n";
+  };
+  ratio_line("byte cache (chunk_cache)",
+             counter_value(json, "chunk_cache.hits"),
+             counter_value(json, "chunk_cache.misses"));
+  ratio_line("marginal cache (cache.marginal)",
+             counter_value(json, "cache.marginal.hits"),
+             counter_value(json, "cache.marginal.misses"));
 }
 
 }  // namespace
@@ -50,6 +91,7 @@ int main(int argc, char** argv) {
     adr::net::AdrClient client(static_cast<std::uint16_t>(port));
     const adr::net::WireStatsReply reply = client.stats(!trace_path.empty());
     std::cout << reply.metrics_json << "\n";
+    print_cache_summary(reply.metrics_json);
     if (!trace_path.empty()) {
       if (reply.trace_json.empty()) {
         std::cerr << "adr_stats: server returned no trace (tracing not "
