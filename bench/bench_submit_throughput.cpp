@@ -35,6 +35,7 @@
 #include "common/table.hpp"
 #include "core/frontend.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 
 namespace {
@@ -378,6 +379,62 @@ BatchedResult run_batched(const Args& args, const std::filesystem::path& dir) {
   return r;
 }
 
+struct TelemetryOverheadResult {
+  double baseline_qps = 0.0;
+  double telemetry_qps = 0.0;
+  double ratio = 0.0;
+};
+
+// The observability-overhead gate: warm submit throughput with the
+// telemetry sampler running must stay within 5% of sampler-off baseline.
+// The per-query cost ledger is always on, so its cost is already inside
+// every other number in this bench; this isolates the sampler thread
+// (run here at an aggressive 50 ms period — 20x the default rate — so
+// the gate is conservative).  Passes alternate baseline/telemetry and
+// take the best of three each, which cancels machine drift.
+TelemetryOverheadResult run_telemetry_overhead(const Args& args,
+                                               const std::filesystem::path& dir) {
+  RepositoryConfig cfg;
+  cfg.backend = RepositoryConfig::Backend::kThreads;
+  cfg.num_nodes = args.nodes;
+  cfg.memory_per_node = 4ull << 20;
+  cfg.storage_dir = dir;
+  cfg.reuse_executor = true;
+  cfg.chunk_cache_bytes_per_node = 64ull << 20;
+  cfg.marginal_cache_bytes = 0;  // every warm pass does the same real work
+  Repository repo(cfg);
+  const auto in = repo.create_dataset("in", Rect::cube(2, 0.0, 1.0), make_inputs());
+  const auto out = repo.create_dataset("out", Rect::cube(2, 0.0, 1.0), make_outputs());
+
+  Query query;
+  query.input_dataset = in;
+  query.output_dataset = out;
+  query.range = Rect(Point{0.0, 0.0}, Point{0.999, 0.999});
+  query.aggregation = "sum-count-max";
+  query.delivery = adr::OutputDelivery::kReturnToClient;
+
+  (void)repo.submit(query);  // warm the executor pool and the byte cache
+
+  const auto pass_qps = [&]() {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < args.iters; ++i) (void)repo.submit(query);
+    return args.iters / seconds_since(t0);
+  };
+
+  TelemetryOverheadResult r;
+  adr::obs::TelemetrySampler::Options opts;
+  opts.period = std::chrono::milliseconds(50);
+  opts.capacity = 300;
+  for (int rep = 0; rep < 3; ++rep) {
+    r.baseline_qps = std::max(r.baseline_qps, pass_qps());
+    adr::obs::sampler().start(opts);
+    r.telemetry_qps = std::max(r.telemetry_qps, pass_qps());
+    adr::obs::sampler().stop();
+  }
+  r.ratio = r.baseline_qps > 0.0 ? r.telemetry_qps / r.baseline_qps : 0.0;
+  return r;
+}
+
 // Runs a few queries through the scheduler with tracing on and writes
 // the lifecycle spans as a Chrome trace (the CI Perfetto artifact).
 void write_trace_sample(const Args& args, const std::filesystem::path& dir) {
@@ -445,6 +502,12 @@ int main(int argc, char** argv) {
     batched = run_batched(args, dir);
   }
   const OverlapResult overlap = run_overlap(args, base);
+  TelemetryOverheadResult telemetry;
+  {
+    const auto dir = base / "telemetry";
+    std::filesystem::create_directories(dir);
+    telemetry = run_telemetry_overhead(args, dir);
+  }
   {
     const auto dir = base / "trace";
     std::filesystem::create_directories(dir);
@@ -491,6 +554,12 @@ int main(int argc, char** argv) {
             << adr::fmt(overlap.baseline.warm_qps, 2) << " qps / "
             << overlap.baseline.warm_cold_reads << " cold reads / "
             << overlap.baseline.warm_aggregate_pairs << " aggregate pairs\n";
+
+  std::cout << "telemetry overhead (50 ms sampler, best of 3 alternating "
+               "passes): baseline "
+            << adr::fmt(telemetry.baseline_qps, 2) << " qps, sampler on "
+            << adr::fmt(telemetry.telemetry_qps, 2) << " qps ("
+            << adr::fmt(telemetry.ratio * 100.0, 1) << "% of baseline)\n";
 
   std::ofstream json(args.out_path);
   json << "{\n  \"bench\": \"submit_throughput\",\n"
@@ -541,7 +610,9 @@ int main(int argc, char** argv) {
   overlap_json("marginal", overlap.marginal);
   json << ",\n";
   overlap_json("baseline", overlap.baseline);
-  json << "\n  }\n}\n";
+  json << "\n  },\n  \"telemetry_overhead\": {\"baseline_qps\": "
+       << telemetry.baseline_qps << ", \"telemetry_qps\": " << telemetry.telemetry_qps
+       << ", \"ratio\": " << telemetry.ratio << "}\n}\n";
   std::cout << "wrote " << args.out_path << "\n";
 
   // The acceptance bar: with both optimisations on, warm throughput must
@@ -584,6 +655,15 @@ int main(int argc, char** argv) {
   }
   if (overlap.marginal.warm_marginal_hits == 0) {
     std::cerr << "bench: overlap workload produced no marginal hits\n";
+    return 1;
+  }
+  // Observability must be near-free: warm throughput with the sampler
+  // running (at 20x its default rate) stays within 5% of baseline.
+  if (telemetry.ratio < 0.95) {
+    std::cerr << "bench: telemetry overhead too high: sampler-on warm qps "
+              << telemetry.telemetry_qps << " is "
+              << adr::fmt(telemetry.ratio * 100.0, 1) << "% of baseline "
+              << telemetry.baseline_qps << " (gate: >= 95%)\n";
     return 1;
   }
   return 0;

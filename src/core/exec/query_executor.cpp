@@ -57,6 +57,7 @@ class Engine {
       start_tile(node);
     });
     stats_.total_s = elapsed;
+    stats_.thread_cpu_s = exec_.last_run_cpu_seconds();
     if (options_.record_trace) {
       for (NodeState& st : states_) {
         for (PhaseSpan& span : st.spans) {

@@ -10,6 +10,7 @@
 
 #include "common/logging.hpp"
 #include "obs/metrics.hpp"
+#include "obs/query_cost.hpp"
 #include "obs/trace.hpp"
 #include "runtime/sim_executor.hpp"
 #include "runtime/thread_executor.hpp"
@@ -91,12 +92,45 @@ BatchMetrics& batch_metrics() {
   return m;
 }
 
+// Per-query cost ledger rollup (fields: obs/query_cost.hpp): each
+// successful submit adds its itemized bill to these process-wide series,
+// so aggregate spend by temperature stays queryable after individual
+// results are gone.
+struct CostMetrics {
+  obs::Counter& queries;
+  obs::Counter& cold_chunks;
+  obs::Counter& cold_bytes;
+  obs::Counter& cached_chunks;
+  obs::Counter& cached_bytes;
+  obs::Counter& marginal_chunks;
+  obs::Counter& marginal_bytes_saved;
+  obs::Counter& aggregate_pairs;
+  obs::Histogram& queue_wait;
+  obs::Histogram& exec_wall;
+  obs::Histogram& thread_cpu;
+};
+
+CostMetrics& cost_metrics() {
+  static CostMetrics m{obs::metrics().counter("query.cost.queries"),
+                       obs::metrics().counter("query.cost.cold_chunks"),
+                       obs::metrics().counter("query.cost.cold_bytes"),
+                       obs::metrics().counter("query.cost.cached_chunks"),
+                       obs::metrics().counter("query.cost.cached_bytes"),
+                       obs::metrics().counter("query.cost.marginal_chunks"),
+                       obs::metrics().counter("query.cost.marginal_bytes_saved"),
+                       obs::metrics().counter("query.cost.aggregate_pairs"),
+                       obs::metrics().histogram("query.cost.queue_wait_s"),
+                       obs::metrics().histogram("query.cost.exec_wall_s"),
+                       obs::metrics().histogram("query.cost.thread_cpu_s")};
+  return m;
+}
+
 double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
       .count();
 }
 
-void record_submit_success(const QueryResult& result, double elapsed_s) {
+void record_submit_success(QueryResult& result, double elapsed_s) {
   SubmitMetrics& m = submit_metrics();
   m.count.add();
   m.latency.observe(elapsed_s);
@@ -104,6 +138,26 @@ void record_submit_success(const QueryResult& result, double elapsed_s) {
   if (strategy >= 0 && strategy < static_cast<int>(m.by_strategy.size())) {
     m.by_strategy[static_cast<std::size_t>(strategy)]->observe(elapsed_s);
   }
+  // Finalize the cost ledger: fold in the execution stats and the queue
+  // wait the scheduler deposited thread-locally, then roll the bill into
+  // the query.cost.* series.
+  result.cost.aggregate_pairs = result.stats.total_lr_pairs();
+  result.cost.exec_wall_s = result.stats.total_s;
+  result.cost.thread_cpu_s = result.stats.thread_cpu_s;
+  result.cost.gang_size = result.gang_size;
+  result.cost.queue_wait_s = obs::cost_queue_wait();
+  CostMetrics& c = cost_metrics();
+  c.queries.add();
+  c.cold_chunks.add(result.cost.cold_chunks);
+  c.cold_bytes.add(result.cost.cold_bytes);
+  c.cached_chunks.add(result.cost.cached_chunks);
+  c.cached_bytes.add(result.cost.cached_bytes);
+  c.marginal_chunks.add(result.cost.marginal_chunks);
+  c.marginal_bytes_saved.add(result.cost.marginal_bytes_saved);
+  c.aggregate_pairs.add(result.cost.aggregate_pairs);
+  c.queue_wait.observe(result.cost.queue_wait_s);
+  c.exec_wall.observe(result.cost.exec_wall_s);
+  c.thread_cpu.observe(result.cost.thread_cpu_s);
 }
 
 }  // namespace
@@ -453,6 +507,8 @@ QueryResult Repository::finalize_from_cache_locked(const Query& query,
   result.strategy =
       query.strategy == StrategyKind::kAuto ? StrategyKind::kFRA : query.strategy;
   result.marginal_hits = consult.hits.size();
+  result.cost.marginal_chunks = consult.hits.size();
+  result.cost.marginal_bytes_saved = consult.bytes_saved;
 
   const OutputDelivery delivery =
       query.write_output ? query.delivery : OutputDelivery::kDiscard;
@@ -572,6 +628,12 @@ QueryResult Repository::execute_planned_locked(const Query& query,
     SimExecutor executor(&cluster, config_.store_payloads ? store_.get() : nullptr);
     result.stats = execute_query(executor, planned, prepared.all_inputs, *prepared.output,
                                  prepared.op, costs, config_.disks_per_node, options);
+    // The simulator's modelled I/O is never cached, so the ledger bills
+    // every read cold.
+    for (const NodeStats& n : result.stats.nodes) {
+      result.cost.cold_chunks += n.chunks_read;
+    }
+    result.cost.cold_bytes = result.stats.total_bytes_read();
   } else {
     const ChunkCacheStats cache_before = cache_ ? cache_->stats() : ChunkCacheStats{};
     if (gang_executor != nullptr) {
@@ -600,6 +662,19 @@ QueryResult Repository::execute_planned_locked(const Query& query,
       result.cache_hits = result.stats.cache_hits;
       result.cache_misses = result.stats.cache_misses;
       result.cache_evictions = result.stats.cache_evictions;
+      // Cost ledger: the cache's hit/miss byte deltas split this query's
+      // reads by temperature (same concurrent-submit attribution caveat
+      // as cache_hits above).
+      result.cost.cached_chunks = result.stats.cache_hits;
+      result.cost.cached_bytes = after.hit_bytes - cache_before.hit_bytes;
+      result.cost.cold_chunks = result.stats.cache_misses;
+      result.cost.cold_bytes = after.miss_bytes - cache_before.miss_bytes;
+    } else {
+      // No cache below the engine: every chunk the nodes read was cold.
+      for (const NodeStats& n : result.stats.nodes) {
+        result.cost.cold_chunks += n.chunks_read;
+      }
+      result.cost.cold_bytes = result.stats.total_bytes_read();
     }
   }
 
@@ -611,6 +686,8 @@ QueryResult Repository::execute_planned_locked(const Query& query,
     }
     result.marginal_hits = marginal->hits.size();
     result.marginal_misses = marginal->executed_orig.size();
+    result.cost.marginal_chunks = marginal->hits.size();
+    result.cost.marginal_bytes_saved = marginal->bytes_saved;
     marginal_cache_->note_bytes_saved(marginal->bytes_saved);
     // Merge served partials into this query's delivery alongside the
     // executed chunks.
@@ -1061,7 +1138,8 @@ void QuerySubmissionService::finish_locked(std::uint64_t ticket, std::uint64_t c
 
 void QuerySubmissionService::run_one(Pending&& p) {
   // Dispatch latency: how long the accepted query sat in the queue.
-  scheduler_metrics().queue_wait.observe(seconds_since(p.enqueued_at));
+  const double wait_s = seconds_since(p.enqueued_at);
+  scheduler_metrics().queue_wait.observe(wait_s);
   obs::QueryTracer& tr = obs::tracer();
   const bool tracing = tr.enabled();
   if (tracing) {
@@ -1071,8 +1149,11 @@ void QuerySubmissionService::run_one(Pending&& p) {
                static_cast<std::uint32_t>(p.ticket), -1});
   }
   Outcome out;
-  // Spans recorded inside Repository::submit attach to this ticket.
+  // Spans recorded inside Repository::submit attach to this ticket; the
+  // queue wait rides the same thread into the cost ledger (picked up by
+  // record_submit_success on this thread, inside submit).
   obs::set_trace_query(p.ticket);
+  obs::set_cost_queue_wait(wait_s);
   try {
     ExecOptions exec_options = p.options;
     // The per-tile phase timeline feeds the exported trace; recording it
@@ -1084,6 +1165,7 @@ void QuerySubmissionService::run_one(Pending&& p) {
     ADR_WARN("submission service: ticket " << p.ticket << " failed: " << e.what());
   }
   obs::set_trace_query(0);
+  obs::set_cost_queue_wait(0.0);
   scheduler_metrics().in_flight.add(-1);
   (out.ok() ? scheduler_metrics().completed : scheduler_metrics().failed).add();
   {
@@ -1101,8 +1183,11 @@ void QuerySubmissionService::run_gang(std::vector<Pending>&& gang) {
   const bool tracing = tr.enabled();
   std::vector<SubmitRequest> requests;
   requests.reserve(gang.size());
+  double wait_sum_s = 0.0;
   for (Pending& p : gang) {
-    scheduler_metrics().queue_wait.observe(seconds_since(p.enqueued_at));
+    const double wait_s = seconds_since(p.enqueued_at);
+    wait_sum_s += wait_s;
+    scheduler_metrics().queue_wait.observe(wait_s);
     if (tracing) {
       const std::uint64_t now = tr.now_us();
       const std::uint64_t ts = std::min(p.enqueued_ts_us, now);
@@ -1117,8 +1202,13 @@ void QuerySubmissionService::run_gang(std::vector<Pending>&& gang) {
     requests.push_back(std::move(r));
   }
   scheduler_metrics().gangs_formed.add();
-  // Spans recorded inside submit_batch attach to the gang leader.
+  // Spans recorded inside submit_batch attach to the gang leader.  The
+  // gang executes as one unit, so each member's ledger is billed the
+  // mean member wait (a documented approximation — per-member waits are
+  // indistinguishable once the gang runs).
   obs::set_trace_query(gang.front().ticket);
+  obs::set_cost_queue_wait(gang.empty() ? 0.0
+                                        : wait_sum_s / static_cast<double>(gang.size()));
   std::vector<SubmitOutcome> outs;
   bool whole_batch_failed = false;
   Status batch_status;
@@ -1130,6 +1220,7 @@ void QuerySubmissionService::run_gang(std::vector<Pending>&& gang) {
     ADR_WARN("submission service: gang of " << gang.size() << " failed: " << e.what());
   }
   obs::set_trace_query(0);
+  obs::set_cost_queue_wait(0.0);
 
   {
     std::lock_guard lock(mutex_);

@@ -55,6 +55,7 @@
 #include "core/planner/batch.hpp"
 #include "core/planner/planner.hpp"
 #include "core/query.hpp"
+#include "obs/query_cost.hpp"
 #include "runtime/executor_pool.hpp"
 #include "sim/cluster.hpp"
 #include "storage/chunk_cache.hpp"
@@ -138,6 +139,11 @@ struct QueryResult {
   /// disabled or the query is not cacheable; see docs/caching.md).
   std::uint64_t marginal_hits = 0;
   std::uint64_t marginal_misses = 0;
+  /// Itemized resource bill for this query (bytes by temperature, queue
+  /// wait, executor wall vs thread-CPU time; see obs/query_cost.hpp).
+  /// Finalized on the submit success path and summarized into the
+  /// query.cost.* metric family.
+  obs::QueryCostLedger cost;
   ExecStats stats;
   /// Cost estimates per strategy when the query used kAuto.
   std::vector<std::pair<StrategyKind, CostEstimate>> estimates;

@@ -287,13 +287,16 @@ std::size_t AdrClient::pending() const {
   return queue_.size();
 }
 
-WireStatsReply AdrClient::stats(bool include_trace) {
+WireStatsReply AdrClient::stats(bool include_trace, bool include_history,
+                                std::uint32_t history_samples) {
   std::lock_guard lock(io_mutex_);
   if (fd_ < 0 && !connect_locked()) {
     throw std::runtime_error("AdrClient: not connected");
   }
   WireStatsRequest req;
   req.include_trace = include_trace;
+  req.include_history = include_history;
+  req.history_samples = history_samples;
   if (!write_frame(fd_, encode_stats_request(req))) {
     throw std::runtime_error("AdrClient: send failed");
   }

@@ -119,9 +119,13 @@ class AdrClient {
   /// Asks the live server for its observability snapshot (wire v3):
   /// metrics_json is the obs registry rendered as JSON; trace_json is
   /// the Chrome trace_event export when `include_trace` is set and the
-  /// server has tracing enabled (empty otherwise).  The connection
-  /// stays open — queries and stats requests interleave freely.
-  WireStatsReply stats(bool include_trace = false);
+  /// server has tracing enabled (empty otherwise); history_json is the
+  /// telemetry sampler's time-series ring when `include_history` is set
+  /// (wire v5; `history_samples` caps how many trailing samples come
+  /// back, 0 = all).  The connection stays open — queries and stats
+  /// requests interleave freely.
+  WireStatsReply stats(bool include_trace = false, bool include_history = false,
+                       std::uint32_t history_samples = 0);
 
   bool connected() const;
 

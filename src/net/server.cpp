@@ -26,9 +26,11 @@
 
 #include "common/fault.hpp"
 #include "common/logging.hpp"
+#include "net/http_exposition.hpp"
 #include "net/socket_io.hpp"
 #include "net/wire.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 
 namespace adr::net {
@@ -274,9 +276,11 @@ bool deadline_heap_greater(const std::pair<Clock::time_point, std::uint64_t>& a,
 
 AdrServer::AdrServer(Repository& repository, std::uint16_t port,
                      const ComputeCosts& costs, int max_connections,
-                     int scheduler_workers, std::size_t max_pending)
+                     int scheduler_workers, std::size_t max_pending,
+                     const TelemetryOptions& telemetry)
     : repository_(&repository),
       costs_(costs),
+      telemetry_(telemetry),
       scheduler_(repository, max_pending),
       scheduler_workers_(scheduler_workers),
       max_connections_(max_connections) {
@@ -285,6 +289,10 @@ AdrServer::AdrServer(Repository& repository, std::uint16_t port,
   }
   if (scheduler_workers_ < 1) {
     throw std::invalid_argument("AdrServer: scheduler_workers must be >= 1");
+  }
+  if (telemetry_.http_port >= 0) {
+    http_ = std::make_unique<HttpExpositionServer>(
+        static_cast<std::uint16_t>(telemetry_.http_port));
   }
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw std::runtime_error("AdrServer: socket() failed");
@@ -314,8 +322,20 @@ AdrServer::AdrServer(Repository& repository, std::uint16_t port,
 
 AdrServer::~AdrServer() { stop(); }
 
+std::uint16_t AdrServer::http_port() const { return http_ ? http_->port() : 0; }
+
 void AdrServer::start() {
   if (running_.exchange(true)) return;
+  // Continuous telemetry for the server's lifetime: the sampler feeds
+  // the /history endpoints (wire and HTTP); both are refcounted /
+  // idempotent, so stacked servers in one process compose.
+  if (telemetry_.sampler) {
+    obs::TelemetrySampler::Options opts;
+    opts.period = telemetry_.sample_period;
+    opts.capacity = telemetry_.sample_capacity;
+    obs::sampler().start(opts);
+  }
+  if (http_) http_->start();
 #ifdef ADR_HAVE_EPOLL
   wake_rd_ = wake_wr_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
   if (wake_rd_ < 0) throw std::runtime_error("AdrServer: eventfd() failed");
@@ -336,11 +356,15 @@ void AdrServer::start() {
 }
 
 void AdrServer::stop() {
-  running_.store(false);
+  const bool was_running = running_.exchange(false);
   if (loop_thread_.joinable()) {
     wake();
     loop_thread_.join();
   }
+  if (http_) http_->stop();
+  // Release the sampler ref taken in start() exactly once (stop() runs
+  // again from the destructor).
+  if (was_running && telemetry_.sampler) obs::sampler().stop();
   // The loop has exited: every connection fd is closed, in-flight
   // replies were flushed under the drain deadlines.  Now drain and join
   // the scheduler workers.
@@ -676,6 +700,11 @@ void AdrServer::loop_handle_frame(LoopState& ls, Conn& conn,
       reply.metrics_json = obs::metrics().snapshot().to_json();
       if (req.include_trace && obs::tracer().enabled()) {
         reply.trace_json = obs::tracer().chrome_json();
+      }
+      if (req.include_history) {
+        // Empty ring (sampler idle) still renders valid JSON with zero
+        // samples — clients need no special case.
+        reply.history_json = obs::sampler().history_json(req.history_samples);
       }
     } catch (const std::exception& e) {
       ADR_WARN("server: stats request failed: " << e.what());

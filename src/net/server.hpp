@@ -43,7 +43,9 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -54,6 +56,24 @@
 namespace adr::net {
 
 struct WireResult;
+class HttpExpositionServer;
+
+/// Continuous-telemetry knobs: the server starts the process-wide
+/// background sampler (obs/sampler.hpp) for its lifetime so the
+/// /history endpoints always have a time-series to serve, and can
+/// optionally expose plain-HTTP /metrics + /history for stock scrapers
+/// (net/http_exposition.hpp).
+struct TelemetryOptions {
+  /// Run obs::sampler() while the server runs (refcounted — nested
+  /// servers and tests compose).
+  bool sampler = true;
+  std::chrono::milliseconds sample_period{1000};
+  /// Ring capacity in samples (default: ~5 min at the default period).
+  std::size_t sample_capacity = 300;
+  /// HTTP exposition port: -1 = disabled, 0 = ephemeral (read it back
+  /// with http_port()), else the literal loopback port.
+  int http_port = -1;
+};
 
 class AdrServer {
  public:
@@ -65,7 +85,8 @@ class AdrServer {
   /// submits are refused with a "server busy" frame).
   AdrServer(Repository& repository, std::uint16_t port,
             const ComputeCosts& costs = {}, int max_connections = 64,
-            int scheduler_workers = 4, std::size_t max_pending = 256);
+            int scheduler_workers = 4, std::size_t max_pending = 256,
+            const TelemetryOptions& telemetry = {});
   ~AdrServer();
 
   AdrServer(const AdrServer&) = delete;
@@ -82,6 +103,10 @@ class AdrServer {
 
   /// The bound port (valid after construction).
   std::uint16_t port() const { return port_; }
+
+  /// The HTTP exposition port, or 0 when TelemetryOptions::http_port
+  /// disabled it (valid after construction).
+  std::uint16_t http_port() const;
 
   std::uint64_t queries_served() const { return served_.load(); }
 
@@ -137,6 +162,10 @@ class AdrServer {
 
   Repository* repository_;
   ComputeCosts costs_;
+  TelemetryOptions telemetry_;
+  /// Constructed eagerly (the bind can throw; callers learn at
+  /// construction, not at start()); serving begins in start().
+  std::unique_ptr<HttpExpositionServer> http_;
   /// Routes every query; bounded by scheduler slots, shared by all
   /// connections.
   QuerySubmissionService scheduler_;

@@ -9,9 +9,9 @@ constexpr std::uint8_t kQueryTag = 0x51;        // 'Q'
 constexpr std::uint8_t kResultTag = 0x52;       // 'R'
 constexpr std::uint8_t kStatsRequestTag = 0x53; // 'S'
 constexpr std::uint8_t kStatsReplyTag = 0x54;   // 'T'
-// v4: result frames carry a typed status code, query frames carry exec
-// options (see the version map in wire.hpp).
-constexpr std::uint8_t kVersion = 4;
+// v5: stats frames carry the telemetry history (see the version map in
+// wire.hpp).
+constexpr std::uint8_t kVersion = 5;
 // Query/result bodies are unchanged since v2 except for appended
 // fields, so v2/v3 frames still decode (see the version map in wire.hpp).
 constexpr std::uint8_t kMinVersion = 2;
@@ -310,6 +310,8 @@ std::vector<std::byte> encode_stats_request(const WireStatsRequest& request) {
   w.u8(kStatsRequestTag);
   w.u8(kVersion);
   w.u8(request.include_trace ? 1 : 0);
+  w.u8(request.include_history ? 1 : 0);
+  w.u32(request.history_samples);
   return w.take();
 }
 
@@ -322,6 +324,10 @@ WireStatsRequest decode_stats_request(std::span<const std::byte> payload) {
   }
   WireStatsRequest req;
   req.include_trace = r.u8() != 0;
+  if (version >= 5) {
+    req.include_history = r.u8() != 0;
+    req.history_samples = r.u32();
+  }
   if (!r.done()) throw WireError("wire: trailing bytes after stats request");
   return req;
 }
@@ -332,6 +338,7 @@ std::vector<std::byte> encode_stats_reply(const WireStatsReply& reply) {
   w.u8(kVersion);
   w.str(reply.metrics_json);
   w.str(reply.trace_json);
+  w.str(reply.history_json);
   return w.take();
 }
 
@@ -345,6 +352,7 @@ WireStatsReply decode_stats_reply(std::span<const std::byte> payload) {
   WireStatsReply reply;
   reply.metrics_json = r.str();
   reply.trace_json = r.str();
+  if (version >= 5) reply.history_json = r.str();
   if (!r.done()) throw WireError("wire: trailing bytes after stats reply");
   return reply;
 }

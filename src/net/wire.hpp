@@ -19,10 +19,14 @@
 //   v4  result frames carry a typed StatusCode (u16) and query frames
 //       carry the ExecOptions the query should execute with (flag byte
 //       + comm-CPU rate; the output_sink callback is not serialized)
-// Encoders emit v4; query/result decoders also accept v2/v3 frames —
+//   v5  stats requests carry an include-history flag and a sample cap;
+//       stats replies carry the telemetry sampler's time-series history
+//       as JSON (empty when not requested or the sampler is idle)
+// Encoders emit v5; query/result decoders also accept v2..v4 frames —
 // missing fields default (exec options to their defaults, and the
 // status code is inferred from the ok flag and the "server busy"
-// message).  Stats frames are v3+.
+// message).  Stats frames are v3+; v3/v4 stats frames decode with the
+// history fields defaulted/empty.
 #pragma once
 
 #include <cstddef>
@@ -110,11 +114,17 @@ WireResult decode_result(std::span<const std::byte> payload);
 /// lifecycle ring exported as Chrome trace_event JSON.
 struct WireStatsRequest {
   bool include_trace = false;
+  /// v5: also return the telemetry sampler's ring as JSON (see
+  /// obs/sampler.hpp).  history_samples caps how many trailing samples
+  /// the reply carries (0 = the whole ring).
+  bool include_history = false;
+  std::uint32_t history_samples = 0;
 };
 
 struct WireStatsReply {
   std::string metrics_json;
-  std::string trace_json;  // empty unless requested and tracer enabled
+  std::string trace_json;    // empty unless requested and tracer enabled
+  std::string history_json;  // empty unless requested (v5) and sampler running
 };
 
 /// True when `payload` starts like a stats-request frame (how the

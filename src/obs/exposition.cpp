@@ -1,0 +1,227 @@
+#include "obs/exposition.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/sampler.hpp"
+
+namespace adr::obs {
+
+namespace {
+
+void prom_number(std::ostream& os, double v) {
+  // Prometheus accepts the same spellings JSON does for finite values;
+  // json_number also normalizes NaN/inf, which never appear in practice.
+  json_number(os, v);
+}
+
+/// Collects the union of series names across every sample: a series
+/// registered mid-flight (first query after a quiet start) still gets a
+/// full-length array, zero-padded before its first appearance.
+template <typename Member>
+std::vector<std::string> series_names(const std::vector<TelemetrySample>& samples,
+                                      Member member) {
+  std::map<std::string, bool> names;
+  for (const TelemetrySample& s : samples) {
+    for (const auto& [name, v] : s.snapshot.*member) names[name] = true;
+  }
+  std::vector<std::string> out;
+  out.reserve(names.size());
+  for (const auto& [name, _] : names) out.push_back(name);
+  return out;
+}
+
+double interval_seconds(const TelemetrySample& prev, const TelemetrySample& cur) {
+  if (cur.mono_ms <= prev.mono_ms) return 0.0;
+  return static_cast<double>(cur.mono_ms - prev.mono_ms) / 1000.0;
+}
+
+/// Windowed histogram: the per-interval bucket-count deltas as a
+/// snapshot of their own, so HistogramSnapshot's quantile math applies
+/// to "what happened in this window" instead of since-boot totals.
+HistogramSnapshot window_delta(const HistogramSnapshot* prev,
+                               const HistogramSnapshot& cur) {
+  HistogramSnapshot d;
+  d.bounds = cur.bounds;
+  d.counts.assign(cur.counts.size(), 0);
+  for (std::size_t i = 0; i < cur.counts.size(); ++i) {
+    const std::uint64_t p =
+        (prev != nullptr && i < prev->counts.size()) ? prev->counts[i] : 0;
+    d.counts[i] = counter_delta(p, cur.counts[i]);
+  }
+  d.count = 0;
+  for (const std::uint64_t c : d.counts) d.count += c;
+  d.sum = cur.sum - (prev != nullptr ? prev->sum : 0.0);
+  return d;
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& series) {
+  std::string out = "adr_";
+  out.reserve(series.size() + 4);
+  for (const char c : series) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string p = prometheus_name(name);
+    os << "# TYPE " << p << " counter\n" << p << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string p = prometheus_name(name);
+    os << "# TYPE " << p << " gauge\n" << p << ' ' << value << '\n';
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string p = prometheus_name(name);
+    os << "# TYPE " << p << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      cumulative += h.counts[b];
+      os << p << "_bucket{le=\"";
+      if (b < h.bounds.size()) {
+        prom_number(os, h.bounds[b]);
+      } else {
+        os << "+Inf";
+      }
+      os << "\"} " << cumulative << '\n';
+    }
+    os << p << "_sum ";
+    prom_number(os, h.sum);
+    os << '\n' << p << "_count " << h.count << '\n';
+  }
+  return os.str();
+}
+
+std::uint64_t counter_delta(std::uint64_t prev, std::uint64_t cur) {
+  return cur >= prev ? cur - prev : cur;
+}
+
+double counter_rate(std::uint64_t prev, std::uint64_t cur, double dt_seconds) {
+  if (dt_seconds <= 0.0) return 0.0;
+  return static_cast<double>(counter_delta(prev, cur)) / dt_seconds;
+}
+
+std::string history_to_json(const std::vector<TelemetrySample>& samples,
+                            const HistoryMeta& meta) {
+  std::ostringstream os;
+  os << "{\"period_ms\":" << meta.period_ms << ",\"samples\":" << samples.size()
+     << ",\"capacity\":" << meta.capacity
+     << ",\"total_samples\":" << meta.total_samples << ",\"t_ms\":[";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (i) os << ',';
+    os << samples[i].wall_ms;
+  }
+  os << "],\"counters\":{";
+  {
+    const auto names = series_names(samples, &MetricsSnapshot::counters);
+    bool first_series = true;
+    for (const std::string& name : names) {
+      if (!first_series) os << ',';
+      first_series = false;
+      std::uint64_t last = 0;
+      os << '"' << json_escape(name) << "\":{\"values\":[";
+      std::vector<std::uint64_t> values(samples.size(), 0);
+      for (std::size_t i = 0; i < samples.size(); ++i) {
+        if (const std::uint64_t* v = samples[i].snapshot.counter(name)) {
+          values[i] = *v;
+        }
+        if (i) os << ',';
+        os << values[i];
+        last = values[i];
+      }
+      os << "],\"rates\":[";
+      for (std::size_t i = 0; i < samples.size(); ++i) {
+        if (i) os << ',';
+        if (i == 0) {
+          os << 0;
+        } else {
+          prom_number(os, counter_rate(values[i - 1], values[i],
+                                       interval_seconds(samples[i - 1], samples[i])));
+        }
+      }
+      os << "],\"last\":" << last << '}';
+    }
+  }
+  os << "},\"gauges\":{";
+  {
+    const auto names = series_names(samples, &MetricsSnapshot::gauges);
+    bool first_series = true;
+    for (const std::string& name : names) {
+      if (!first_series) os << ',';
+      first_series = false;
+      std::int64_t last = 0;
+      os << '"' << json_escape(name) << "\":{\"values\":[";
+      for (std::size_t i = 0; i < samples.size(); ++i) {
+        std::int64_t v = 0;
+        if (const std::int64_t* g = samples[i].snapshot.gauge(name)) v = *g;
+        if (i) os << ',';
+        os << v;
+        last = v;
+      }
+      os << "],\"last\":" << last << '}';
+    }
+  }
+  os << "},\"histograms\":{";
+  {
+    const auto names = series_names(samples, &MetricsSnapshot::histograms);
+    bool first_series = true;
+    for (const std::string& name : names) {
+      if (!first_series) os << ',';
+      first_series = false;
+      const HistogramSnapshot* latest = nullptr;
+      for (auto it = samples.rbegin(); it != samples.rend() && latest == nullptr;
+           ++it) {
+        latest = it->snapshot.histogram(name);
+      }
+      // Windowed per-interval deltas for rates and quantile series.
+      std::vector<double> rates(samples.size(), 0.0);
+      std::vector<double> p50s(samples.size(), 0.0);
+      std::vector<double> p99s(samples.size(), 0.0);
+      for (std::size_t i = 1; i < samples.size(); ++i) {
+        const HistogramSnapshot* cur = samples[i].snapshot.histogram(name);
+        if (cur == nullptr) continue;
+        const HistogramSnapshot* prev = samples[i - 1].snapshot.histogram(name);
+        const HistogramSnapshot d = window_delta(prev, *cur);
+        const double dt = interval_seconds(samples[i - 1], samples[i]);
+        rates[i] = dt > 0.0 ? static_cast<double>(d.count) / dt : 0.0;
+        p50s[i] = d.p50();
+        p99s[i] = d.p99();
+      }
+      os << '"' << json_escape(name) << "\":{\"count\":"
+         << (latest != nullptr ? latest->count : 0)
+         << ",\"overflow\":" << (latest != nullptr ? latest->overflow() : 0)
+         << ",\"p50\":";
+      json_number(os, latest != nullptr ? latest->p50() : 0.0);
+      os << ",\"p99\":";
+      json_number(os, latest != nullptr ? latest->p99() : 0.0);
+      os << ",\"rates\":[";
+      for (std::size_t i = 0; i < rates.size(); ++i) {
+        if (i) os << ',';
+        json_number(os, rates[i]);
+      }
+      os << "],\"p50s\":[";
+      for (std::size_t i = 0; i < p50s.size(); ++i) {
+        if (i) os << ',';
+        json_number(os, p50s[i]);
+      }
+      os << "],\"p99s\":[";
+      for (std::size_t i = 0; i < p99s.size(); ++i) {
+        if (i) os << ',';
+        json_number(os, p99s[i]);
+      }
+      os << "]}";
+    }
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace adr::obs

@@ -1,0 +1,69 @@
+// Exposition formats for the metrics registry and the telemetry ring.
+//
+// Two renderings, both pure functions over snapshot data so they are
+// golden-testable without a live server:
+//
+//   to_prometheus(snapshot)  - Prometheus text format 0.0.4.  Counters
+//       and gauges map directly; histograms emit the classic cumulative
+//       `_bucket{le="..."}` series (the Histogram already has `le`
+//       semantics) plus `_sum` and `_count`.  Series names are
+//       sanitized (dots -> underscores) and prefixed `adr_`.
+//
+//   history_to_json(samples, meta)  - the /history document: a shared
+//       time axis plus per-series value arrays and derived rate arrays
+//       (per-second deltas, reset-aware), the form adr_top and
+//       `adr_stats --watch` consume.
+//
+// counter_rate/counter_delta are the one place the delta-vs-reset rule
+// lives: a counter that went backwards (process restart behind a
+// router, registry swap in a test) contributes its new absolute value
+// as the delta instead of a negative spike.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace adr::obs {
+
+struct TelemetrySample;
+
+/// Ring bookkeeping that travels with a history export.
+struct HistoryMeta {
+  std::uint64_t period_ms = 1000;
+  std::size_t capacity = 0;
+  /// Samples taken since sampler construction (>= samples retained).
+  std::uint64_t total_samples = 0;
+};
+
+/// Prometheus exposition name: dots and any other non-[a-zA-Z0-9_]
+/// become '_', and the result is prefixed "adr_".
+std::string prometheus_name(const std::string& series);
+
+/// The full registry snapshot in Prometheus text format 0.0.4.
+std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+/// Reset-aware counter delta: cur - prev when monotonic, cur after a
+/// reset (the series restarted from zero).
+std::uint64_t counter_delta(std::uint64_t prev, std::uint64_t cur);
+
+/// counter_delta over an interval, as a per-second rate.  0 when the
+/// interval is empty or non-positive.
+double counter_rate(std::uint64_t prev, std::uint64_t cur, double dt_seconds);
+
+/// The /history JSON document (schema in docs/observability.md):
+/// {"period_ms","samples","capacity","total_samples","t_ms":[...],
+///  "counters":{name:{"last",..,"values":[...],"rates":[...]}},
+///  "gauges":{name:{"last","values":[...]}},
+///  "histograms":{name:{"count","overflow","p50","p99",
+///                      "rates":[...],"p50s":[...],"p99s":[...]}}}
+/// Rate arrays align with t_ms; element 0 is always 0 (no prior
+/// sample).  Histogram p50s/p99s are *windowed* quantiles computed
+/// from per-interval bucket-count deltas, so a latency regression shows
+/// up immediately instead of being averaged into since-boot history.
+std::string history_to_json(const std::vector<TelemetrySample>& samples,
+                            const HistoryMeta& meta);
+
+}  // namespace adr::obs

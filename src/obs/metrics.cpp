@@ -107,6 +107,15 @@ double HistogramSnapshot::quantile(double q) const {
   return bounds.back();
 }
 
+bool HistogramSnapshot::quantile_in_overflow(double q) const {
+  if (count == 0 || overflow() == 0) return false;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  // Finite buckets hold count - overflow observations; a rank beyond
+  // them resolves in the overflow bucket.
+  return rank > static_cast<double>(count - overflow());
+}
+
 std::vector<double> default_latency_buckets() {
   return {1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2,
           5e-2, 1e-1,   0.25, 0.5,  1.0,    2.5,  5.0,  10.0};
@@ -156,7 +165,8 @@ std::string MetricsSnapshot::to_json() const {
     if (i) os << ',';
     const HistogramSnapshot& h = histograms[i].second;
     os << '"' << json_escape(histograms[i].first) << "\":{"
-       << "\"count\":" << h.count << ",\"sum\":";
+       << "\"count\":" << h.count << ",\"overflow\":" << h.overflow()
+       << ",\"sum\":";
     json_number(os, h.sum);
     os << ",\"mean\":";
     json_number(os, h.mean());

@@ -89,8 +89,16 @@ struct HistogramSnapshot {
 
   /// Quantile by linear interpolation inside the target bucket (the
   /// classic fixed-bucket estimate; exact at bucket boundaries).  The
-  /// overflow bucket reports the largest finite bound.  q in [0, 1].
+  /// overflow bucket reports the largest finite bound — check
+  /// quantile_in_overflow() before trusting a tail quantile: a p99 that
+  /// landed past the last bound is a *floor* ("p99 >= 10s"), not an
+  /// estimate.  q in [0, 1].
   double quantile(double q) const;
+  /// Observations past the largest finite bound.
+  std::uint64_t overflow() const { return counts.empty() ? 0 : counts.back(); }
+  /// True when quantile(q)'s rank lands in the overflow bucket, i.e. the
+  /// returned value is clipped to bounds.back() and understates reality.
+  bool quantile_in_overflow(double q) const;
   double p50() const { return quantile(0.50); }
   double p95() const { return quantile(0.95); }
   double p99() const { return quantile(0.99); }
@@ -136,7 +144,7 @@ struct MetricsSnapshot {
   const HistogramSnapshot* histogram(const std::string& name) const;
 
   /// {"counters": {...}, "gauges": {...}, "histograms": {name:
-  /// {count,sum,mean,p50,p95,p99,buckets:[{le,count}...]}}}
+  /// {count,overflow,sum,mean,p50,p95,p99,buckets:[{le,count}...]}}}
   std::string to_json() const;
 };
 

@@ -1,0 +1,12 @@
+#include "obs/query_cost.hpp"
+
+namespace adr::obs {
+
+namespace {
+thread_local double t_cost_queue_wait = 0.0;
+}  // namespace
+
+void set_cost_queue_wait(double seconds) { t_cost_queue_wait = seconds; }
+double cost_queue_wait() { return t_cost_queue_wait; }
+
+}  // namespace adr::obs

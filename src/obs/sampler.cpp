@@ -1,0 +1,188 @@
+#include "obs/sampler.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/exposition.hpp"
+
+namespace adr::obs {
+
+namespace {
+
+std::int64_t wall_now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint64_t mono_now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+TelemetrySampler::~TelemetrySampler() {
+  // Direct users (tests) may destroy a sampler they started; force the
+  // thread down regardless of outstanding refcounts.
+  {
+    std::lock_guard lock(mutex_);
+    starts_ = 0;
+    thread_running_ = false;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void TelemetrySampler::start(const Options& options) {
+  std::thread stale;
+  {
+    std::lock_guard lock(mutex_);
+    ++starts_;
+    if (starts_ == 1) {
+      options_ = options;
+      options_.period = std::max(options_.period, std::chrono::milliseconds(10));
+      options_.capacity = std::max<std::size_t>(options_.capacity, 2);
+      if (ring_.size() != options_.capacity) {
+        // Resize only between runs: compact the retained tail in order.
+        std::vector<TelemetrySample> kept = {};
+        kept.reserve(count_);
+        for (std::size_t i = 0; i < count_; ++i) {
+          kept.push_back(std::move(ring_[(head_ + i) % ring_.size()]));
+        }
+        const std::size_t drop =
+            kept.size() > options_.capacity ? kept.size() - options_.capacity : 0;
+        ring_.assign(options_.capacity, TelemetrySample{});
+        count_ = std::min(kept.size() - drop, options_.capacity);
+        head_ = 0;
+        for (std::size_t i = 0; i < count_; ++i) ring_[i] = std::move(kept[drop + i]);
+        head_ = count_ % ring_.size();
+      }
+      // A previous run's thread may still be winding down; join it
+      // outside the lock before spawning the replacement.
+      stale = std::move(thread_);
+      thread_running_ = true;
+    }
+  }
+  if (stale.joinable()) stale.join();
+  {
+    std::lock_guard lock(mutex_);
+    if (starts_ >= 1 && thread_running_ && !thread_.joinable()) {
+      thread_ = std::thread([this]() { thread_main(); });
+    }
+  }
+}
+
+void TelemetrySampler::stop() {
+  std::thread finished;
+  {
+    std::lock_guard lock(mutex_);
+    if (starts_ == 0) return;
+    --starts_;
+    if (starts_ > 0) return;
+    thread_running_ = false;
+    finished = std::move(thread_);
+  }
+  cv_.notify_all();
+  if (finished.joinable()) finished.join();
+}
+
+bool TelemetrySampler::running() const {
+  std::lock_guard lock(mutex_);
+  return starts_ > 0;
+}
+
+void TelemetrySampler::thread_main() {
+  // First sample immediately: a scrape right after server start already
+  // has a baseline for rate computation.
+  sample_now();
+  std::unique_lock lock(mutex_);
+  while (thread_running_) {
+    const auto period = options_.period;
+    if (cv_.wait_for(lock, period, [this]() { return !thread_running_; })) {
+      return;
+    }
+    lock.unlock();
+    sample_now();
+    metrics().counter("sampler.ticks").add();
+    lock.lock();
+  }
+}
+
+void TelemetrySampler::sample_now() {
+  TelemetrySample sample;
+  sample.wall_ms = wall_now_ms();
+  sample.mono_ms = mono_now_ms();
+  // Snapshot outside our own mutex: the registry holds its lock while
+  // summing shards, and the ring lock should never nest under it.
+  sample.snapshot = metrics().snapshot();
+  std::lock_guard lock(mutex_);
+  push_sample_locked(std::move(sample));
+}
+
+void TelemetrySampler::push_sample_locked(TelemetrySample&& sample) {
+  if (ring_.empty()) {
+    ring_.assign(options_.capacity > 0 ? options_.capacity : 300, TelemetrySample{});
+  }
+  const std::size_t slot = (head_ + count_) % ring_.size();
+  ring_[slot] = std::move(sample);
+  if (count_ < ring_.size()) {
+    ++count_;
+  } else {
+    head_ = (head_ + 1) % ring_.size();  // overwrote the oldest
+  }
+  ++total_;
+}
+
+std::vector<TelemetrySample> TelemetrySampler::history(std::size_t last_n) const {
+  std::lock_guard lock(mutex_);
+  const std::size_t n =
+      last_n == 0 ? count_ : std::min(last_n, count_);
+  std::vector<TelemetrySample> out;
+  out.reserve(n);
+  for (std::size_t i = count_ - n; i < count_; ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string TelemetrySampler::history_json(std::size_t last_n) const {
+  HistoryMeta meta;
+  {
+    std::lock_guard lock(mutex_);
+    meta.period_ms =
+        static_cast<std::uint64_t>(options_.period.count() > 0
+                                       ? options_.period.count()
+                                       : Options{}.period.count());
+    meta.capacity = ring_.empty() ? options_.capacity : ring_.size();
+    if (meta.capacity == 0) meta.capacity = Options{}.capacity;
+    meta.total_samples = total_;
+  }
+  return history_to_json(history(last_n), meta);
+}
+
+std::size_t TelemetrySampler::capacity() const {
+  std::lock_guard lock(mutex_);
+  return ring_.empty() ? options_.capacity : ring_.size();
+}
+
+std::chrono::milliseconds TelemetrySampler::period() const {
+  std::lock_guard lock(mutex_);
+  return options_.period;
+}
+
+std::uint64_t TelemetrySampler::total_samples() const {
+  std::lock_guard lock(mutex_);
+  return total_;
+}
+
+TelemetrySampler& sampler() {
+  // Immortal, like metrics(): servers stop it explicitly, and a leaked
+  // refcount at exit must not order against static teardown.
+  static TelemetrySampler* instance = new TelemetrySampler();
+  return *instance;
+}
+
+}  // namespace adr::obs

@@ -1,0 +1,113 @@
+// Background telemetry sampler: a fixed-size in-memory time-series ring
+// over the process-wide metrics registry.
+//
+// obs::metrics() can only answer "what is the total since boot"; every
+// consumer the ROADMAP targets (self-tuning scheduler, router health
+// polling, cache tuning) needs *time series* — rates, trends, and
+// regression onset.  TelemetrySampler snapshots every registered
+// counter/gauge/histogram on a fixed period (default 1 s) into a ring of
+// ~5 minutes of retention, from which delta/rate series are computed on
+// read-out (so `scheduler.enqueued` becomes qps).
+//
+// Overhead: one MetricsSnapshot per period on a background thread — a
+// registry-mutex hold plus relaxed shard sums, nothing on any serving
+// hot path.  The warm-path cost with the sampler running is gated at
+// >= 95% of baseline by bench_submit_throughput.
+//
+// Lifecycle: start()/stop() are refcounted so multiple servers (or a
+// server plus a test harness) in one process compose — the first start
+// spawns the thread with its options, later starts just pin it, and the
+// last stop joins it.  The ring survives stop() so late readers still
+// see the history.
+//
+// sampler() is process-wide and immortal, like obs::metrics().
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace adr::obs {
+
+/// One ring entry: a full registry snapshot plus when it was taken.
+struct TelemetrySample {
+  /// Wall-clock milliseconds since the Unix epoch (what /history serves
+  /// as the time axis).
+  std::int64_t wall_ms = 0;
+  /// Monotonic milliseconds (steady clock) — rate denominators use this
+  /// so a wall-clock step never produces a negative interval.
+  std::uint64_t mono_ms = 0;
+  MetricsSnapshot snapshot;
+};
+
+class TelemetrySampler {
+ public:
+  struct Options {
+    /// Snapshot period.  Default 1 s; clamped to >= 10 ms.
+    std::chrono::milliseconds period{1000};
+    /// Ring capacity in samples.  300 x 1 s ~= 5 minutes of retention.
+    std::size_t capacity = 300;
+  };
+
+  TelemetrySampler() = default;
+  ~TelemetrySampler();
+
+  TelemetrySampler(const TelemetrySampler&) = delete;
+  TelemetrySampler& operator=(const TelemetrySampler&) = delete;
+
+  /// Starts the background thread (first caller's options win while the
+  /// sampler runs; the ring is resized only when idle).  Refcounted:
+  /// every start() must be matched by one stop().
+  void start(const Options& options);
+  void start() { start(Options()); }
+  void stop();
+  bool running() const;
+
+  /// Takes one snapshot into the ring right now (also what the thread
+  /// calls each period).  Usable without start() for deterministic
+  /// tests.
+  void sample_now();
+
+  /// Oldest-first copy of the retained samples; `last_n` == 0 means all.
+  std::vector<TelemetrySample> history(std::size_t last_n = 0) const;
+
+  /// The /history JSON document: time axis plus per-series value and
+  /// rate arrays computed from the ring (see docs/observability.md for
+  /// the schema).  `last_n` == 0 means the whole ring.
+  std::string history_json(std::size_t last_n = 0) const;
+
+  std::size_t capacity() const;
+  std::chrono::milliseconds period() const;
+  /// Samples taken since construction (>= ring size; the ring forgets,
+  /// this does not).
+  std::uint64_t total_samples() const;
+
+ private:
+  void thread_main();
+  void push_sample_locked(TelemetrySample&& sample);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  Options options_{};
+  int starts_ = 0;
+  bool thread_running_ = false;
+  std::thread thread_;
+  /// Ring storage: ring_[(head_ + i) % size] is the i-th oldest sample
+  /// once full; before that the first `count_` slots are in order.
+  std::vector<TelemetrySample> ring_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// The process-wide sampler the server lifecycle starts and the
+/// exposition endpoints read.  Immortal, like metrics().
+TelemetrySampler& sampler();
+
+}  // namespace adr::obs

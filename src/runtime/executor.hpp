@@ -85,6 +85,12 @@ class Executor {
 
   /// Current time in seconds on the executor's clock.
   virtual double now_seconds() const = 0;
+
+  /// CPU seconds the backend's worker threads spent inside the most
+  /// recent run() (the cost ledger's thread-CPU attribution).  0 when
+  /// the backend has no real threads (the simulator) or the platform
+  /// cannot read per-thread CPU clocks.
+  virtual double last_run_cpu_seconds() const { return 0.0; }
 };
 
 }  // namespace adr

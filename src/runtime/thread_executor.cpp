@@ -1,5 +1,8 @@
 #include "runtime/thread_executor.hpp"
 
+#include <pthread.h>
+#include <time.h>
+
 #include <algorithm>
 #include <cassert>
 #include <chrono>
@@ -25,7 +28,32 @@ ThreadExecutor::ThreadExecutor(int num_nodes, int disks_per_node, ChunkStore* st
     workers_[static_cast<size_t>(n)]->thread =
         std::thread([this, n]() { worker_loop(n); });
   }
+  // Per-thread CPU clocks for the cost ledger's thread-CPU attribution:
+  // readable from the leasing thread, so run() can difference them at
+  // its boundaries without touching the workers' hot loops.
+  worker_cpu_clocks_.assign(workers_.size(), -1);
+  for (std::size_t n = 0; n < workers_.size(); ++n) {
+    clockid_t clock;
+    if (pthread_getcpuclockid(workers_[n]->thread.native_handle(), &clock) == 0) {
+      worker_cpu_clocks_[n] = static_cast<long>(clock);
+    }
+  }
 }
+
+double ThreadExecutor::workers_cpu_seconds() const {
+  double total = 0.0;
+  for (const long clock : worker_cpu_clocks_) {
+    if (clock == -1) continue;
+    timespec ts{};
+    if (clock_gettime(static_cast<clockid_t>(clock), &ts) == 0) {
+      total += static_cast<double>(ts.tv_sec) +
+               static_cast<double>(ts.tv_nsec) * 1e-9;
+    }
+  }
+  return total;
+}
+
+double ThreadExecutor::last_run_cpu_seconds() const { return last_run_cpu_s_; }
 
 ThreadExecutor::~ThreadExecutor() {
   for (auto& w : workers_) {
@@ -202,6 +230,7 @@ double ThreadExecutor::run(std::function<void(int)> entry) {
     window_waiters_.clear();
     epoch_completed_.clear();
   }
+  const double cpu_before = workers_cpu_seconds();
   const auto start = std::chrono::steady_clock::now();
   for (int n = 0; n < num_nodes(); ++n) {
     post(n, [entry, n]() { entry(n); });
@@ -212,6 +241,7 @@ double ThreadExecutor::run(std::function<void(int)> entry) {
     ++completed_runs_;
   }
   const auto end = std::chrono::steady_clock::now();
+  last_run_cpu_s_ = std::max(0.0, workers_cpu_seconds() - cpu_before);
   // Surface the first node-task failure only after every node finished:
   // the pool is quiescent, so a leased warm executor returns to the pool
   // clean even when the query it ran failed.

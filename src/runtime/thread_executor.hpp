@@ -58,6 +58,9 @@ class ThreadExecutor : public Executor {
   void finish(int node) override;
   double run(std::function<void(int)> entry) override;
   double now_seconds() const override;
+  /// Summed node-thread CPU seconds for the last run() (per-thread CPU
+  /// clocks read at the run boundaries; see obs/query_cost.hpp).
+  double last_run_cpu_seconds() const override;
 
   int node_of_disk(int global_disk) const { return global_disk / disks_per_node_; }
 
@@ -91,6 +94,8 @@ class ThreadExecutor : public Executor {
   };
 
   void worker_loop(int node);
+  /// Sum of the worker threads' CPU clocks right now (0 if unreadable).
+  double workers_cpu_seconds() const;
 
   int disks_per_node_;
   ChunkStore* store_;
@@ -114,6 +119,12 @@ class ThreadExecutor : public Executor {
   std::condition_variable done_cv_;
   int finished_ = 0;
   std::uint64_t completed_runs_ = 0;
+  /// Per-worker CPU clock ids (pthread_getcpuclockid; empty entry == -1
+  /// means unreadable) and the last run's summed CPU delta.  Written by
+  /// run() on the leasing thread, read after run() returns — the same
+  /// sequencing contract as set_message_handler().
+  std::vector<long> worker_cpu_clocks_;
+  double last_run_cpu_s_ = 0.0;
 
   /// First error recorded this run (guarded by error_mutex_; reset at
   /// the start of each run, thrown from run() after completion).

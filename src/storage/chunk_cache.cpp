@@ -16,6 +16,8 @@ namespace {
 struct CacheMetrics {
   obs::Counter& hits;
   obs::Counter& misses;
+  obs::Counter& hit_bytes;
+  obs::Counter& miss_bytes;
   obs::Counter& evictions;
   obs::Counter& insertions;
   obs::Counter& invalidations;
@@ -26,6 +28,8 @@ struct CacheMetrics {
 CacheMetrics& cache_metrics() {
   static CacheMetrics m{obs::metrics().counter("chunk_cache.hits"),
                         obs::metrics().counter("chunk_cache.misses"),
+                        obs::metrics().counter("chunk_cache.hit_bytes"),
+                        obs::metrics().counter("chunk_cache.miss_bytes"),
                         obs::metrics().counter("chunk_cache.evictions"),
                         obs::metrics().counter("chunk_cache.insertions"),
                         obs::metrics().counter("chunk_cache.invalidations"),
@@ -115,7 +119,9 @@ std::optional<Chunk> CachingChunkStore::get(int disk, ChunkId id) const {
   auto it = shard.entries.find(id);
   if (it != shard.entries.end()) {
     ++shard.hits;
+    shard.hit_bytes += it->second.chunk.payload().size();
     cache_metrics().hits.add();
+    cache_metrics().hit_bytes.add(it->second.chunk.payload().size());
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
     return it->second.chunk;
   }
@@ -127,7 +133,11 @@ std::optional<Chunk> CachingChunkStore::get(int disk, ChunkId id) const {
   // bytes the "disk" never delivered.
   std::optional<Chunk> chunk = backing_->get(disk, id);
   fault::faults().check("storage.cache_fetch");
-  if (chunk.has_value()) install_locked(shard, *chunk);
+  if (chunk.has_value()) {
+    shard.miss_bytes += chunk->payload().size();
+    cache_metrics().miss_bytes.add(chunk->payload().size());
+    install_locked(shard, *chunk);
+  }
   return chunk;
 }
 
@@ -162,6 +172,8 @@ ChunkCacheStats CachingChunkStore::stats() const {
     std::lock_guard<std::mutex> lock(shard->mutex);
     total.hits += shard->hits;
     total.misses += shard->misses;
+    total.hit_bytes += shard->hit_bytes;
+    total.miss_bytes += shard->miss_bytes;
     total.evictions += shard->evictions;
     total.insertions += shard->insertions;
     total.invalidations += shard->invalidations;

@@ -34,6 +34,11 @@ namespace adr {
 struct ChunkCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
+  /// Payload bytes served from memory (hits) vs fetched from the
+  /// backing store (misses) — the byte-level split the per-query cost
+  /// ledger reconciles against (obs/query_cost.hpp).
+  std::uint64_t hit_bytes = 0;
+  std::uint64_t miss_bytes = 0;
   std::uint64_t evictions = 0;
   std::uint64_t insertions = 0;
   std::uint64_t invalidations = 0;
@@ -82,6 +87,8 @@ class CachingChunkStore : public ChunkStore {
     std::uint64_t bytes = 0;
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t hit_bytes = 0;
+    std::uint64_t miss_bytes = 0;
     std::uint64_t evictions = 0;
     std::uint64_t insertions = 0;
     std::uint64_t invalidations = 0;

@@ -7,8 +7,29 @@
 #include <stdexcept>
 
 #include "common/fault.hpp"
+#include "obs/metrics.hpp"
 
 namespace adr {
+
+namespace {
+
+// Process-wide backing-store read traffic (catalog:
+// docs/observability.md).  Both concrete stores tick these on every
+// successful fetch, so the series counts *cold* reads — the chunk cache
+// serves hits without reaching here — and the per-query cost ledger's
+// cold bytes reconcile against it.
+struct StorageMetrics {
+  obs::Counter& chunk_reads;
+  obs::Counter& bytes_read;
+};
+
+StorageMetrics& storage_metrics() {
+  static StorageMetrics m{obs::metrics().counter("storage.chunk_reads"),
+                          obs::metrics().counter("storage.bytes_read")};
+  return m;
+}
+
+}  // namespace
 
 MemoryChunkStore::MemoryChunkStore(int num_disks) : disks_(static_cast<size_t>(num_disks)) {
   assert(num_disks >= 1);
@@ -39,6 +60,8 @@ std::optional<Chunk> MemoryChunkStore::get(int disk, ChunkId id) const {
   const Disk& d = disks_[static_cast<size_t>(disk)];
   auto it = d.chunks.find(id);
   if (it == d.chunks.end()) return std::nullopt;
+  storage_metrics().chunk_reads.add();
+  storage_metrics().bytes_read.add(it->second.payload().size());
   return it->second;
 }
 
@@ -199,6 +222,8 @@ std::optional<Chunk> FileChunkStore::get(int disk, ChunkId id) const {
            static_cast<std::streamsize>(e.stored_bytes));
     if (!f) throw std::runtime_error("FileChunkStore: short read from " + d.path.string());
   }
+  storage_metrics().chunk_reads.add();
+  storage_metrics().bytes_read.add(payload.size());
   return Chunk(e.meta, std::move(payload));
 }
 

@@ -1,0 +1,257 @@
+// Minimal JSON reader for the CLI tools.
+//
+// The ADR telemetry endpoints (/metrics snapshot JSON, /history ring
+// JSON) emit machine-generated documents with a known, simple shape;
+// adr_top and adr_stats --watch need to *read* them without dragging a
+// JSON library into the build.  This is a small recursive-descent
+// parser into a tagged-value tree: objects keep insertion order, numbers
+// are doubles, \uXXXX escapes outside ASCII degrade to '?'.  Tools-only
+// — the library keeps emitting JSON with obs/json.hpp and never parses.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace adr::tools {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const {
+    if (type != Type::kObject) return nullptr;
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  double number_or(double fallback) const {
+    return type == Type::kNumber ? number : fallback;
+  }
+
+  /// Numeric member of an object, with fallback.
+  double num(const std::string& key, double fallback = 0.0) const {
+    const JsonValue* v = find(key);
+    return v != nullptr ? v->number_or(fallback) : fallback;
+  }
+
+  /// Numeric array member flattened to doubles (empty when absent).
+  std::vector<double> nums(const std::string& key) const {
+    std::vector<double> out;
+    const JsonValue* v = find(key);
+    if (v == nullptr || v->type != Type::kArray) return out;
+    out.reserve(v->array.size());
+    for (const JsonValue& e : v->array) out.push_back(e.number_or(0.0));
+    return out;
+  }
+};
+
+class JsonParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != s_.size()) throw JsonParseError("json: trailing characters");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) throw JsonParseError("json: unexpected end");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) throw JsonParseError(std::string("json: expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"': {
+        JsonValue v;
+        v.type = JsonValue::Type::kString;
+        v.string = string();
+        return v;
+      }
+      case 't':
+      case 'f': {
+        JsonValue v;
+        v.type = JsonValue::Type::kBool;
+        if (consume_literal("true")) {
+          v.boolean = true;
+        } else if (consume_literal("false")) {
+          v.boolean = false;
+        } else {
+          throw JsonParseError("json: bad literal");
+        }
+        return v;
+      }
+      case 'n':
+        if (!consume_literal("null")) throw JsonParseError("json: bad literal");
+        return JsonValue{};
+      default:
+        return number();
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= s_.size()) throw JsonParseError("json: unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) throw JsonParseError("json: bad escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"':
+        case '\\':
+        case '/':
+          out.push_back(e);
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) throw JsonParseError("json: bad \\u escape");
+          const unsigned long cp = std::strtoul(s_.substr(pos_, 4).c_str(), nullptr, 16);
+          pos_ += 4;
+          // ASCII round-trips; anything wider degrades (tool display only).
+          out.push_back(cp < 0x80 ? static_cast<char>(cp) : '?');
+          break;
+        }
+        default:
+          throw JsonParseError("json: bad escape");
+      }
+    }
+  }
+
+  JsonValue number() {
+    const char* start = s_.c_str() + pos_;
+    char* end = nullptr;
+    const double d = std::strtod(start, &end);
+    if (end == start) throw JsonParseError("json: bad number");
+    pos_ += static_cast<std::size_t>(end - start);
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number = d;
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+inline JsonValue parse_json(const std::string& text) {
+  return detail::JsonParser(text).parse();
+}
+
+}  // namespace adr::tools
