@@ -22,14 +22,18 @@
 //        --nodes=<n>  --help
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <random>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/table.hpp"
@@ -52,6 +56,11 @@ using adr::RepositoryConfig;
 struct Args {
   int iters = 20;
   int nodes = 4;
+  /// Overload mode: skip the ablation matrix and instead drive the
+  /// submission service at 2x its measured capacity with deadline-
+  /// carrying queries, reporting admitted-p99 and shed counts (enforced
+  /// exit checks; see docs/scheduling.md).
+  bool overload = false;
   std::string out_path = "BENCH_submit_throughput.json";
   std::string trace_path = "BENCH_submit_trace.json";
 };
@@ -72,9 +81,11 @@ Args parse(int argc, char** argv) {
       args.out_path = v;
     } else if (const char* v = value("--trace-out=")) {
       args.trace_path = v;
+    } else if (arg == "--overload") {
+      args.overload = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "flags: --iters=<n> --nodes=<n> --out=<path> "
-                   "--trace-out=<path>\n";
+                   "--trace-out=<path> --overload\n";
       std::exit(0);
     }
   }
@@ -435,6 +446,189 @@ TelemetryOverheadResult run_telemetry_overhead(const Args& args,
   return r;
 }
 
+struct OverloadResult {
+  int offered = 0;
+  double capacity_qps = 0.0;  // serial warm capacity (the service rate)
+  double offered_qps = 0.0;   // achieved arrival rate (target: 2x capacity)
+  double deadline_ms = 0.0;   // per-query Qos budget
+  double bound_ms = 0.0;      // enforced admitted-latency ceiling
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t other_failures = 0;
+  double admitted_p50_ms = 0.0;
+  double admitted_p99_ms = 0.0;
+};
+
+// Sustained-overload mode: measure the warm serial capacity, then offer
+// the submission service twice that rate in deadline-carrying queries
+// (one worker, gangs off, so "capacity" means what it measured).  The
+// Qos contract under test: excess work is shed with the typed
+// kDeadlineExceeded — never silently queued — so the latency of what IS
+// admitted stays bounded by the deadline budget plus execution slack
+// instead of growing an unbounded FIFO tail.
+OverloadResult run_overload(const Args& args, const std::filesystem::path& dir) {
+  RepositoryConfig cfg;
+  cfg.backend = RepositoryConfig::Backend::kThreads;
+  cfg.num_nodes = args.nodes;
+  cfg.memory_per_node = 4ull << 20;
+  cfg.storage_dir = dir;
+  cfg.reuse_executor = true;
+  cfg.chunk_cache_bytes_per_node = 64ull << 20;
+  cfg.marginal_cache_bytes = 0;  // every query does the same real work
+  Repository repo(cfg);
+  const auto in = repo.create_dataset("in", Rect::cube(2, 0.0, 1.0), make_inputs());
+  const auto out = repo.create_dataset("out", Rect::cube(2, 0.0, 1.0), make_outputs());
+
+  Query query;
+  query.input_dataset = in;
+  query.output_dataset = out;
+  query.range = Rect(Point{0.0, 0.0}, Point{0.999, 0.999});
+  query.aggregation = "sum-count-max";
+  query.delivery = adr::OutputDelivery::kReturnToClient;
+
+  (void)repo.submit(query);  // warm the executor pool and the byte cache
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < args.iters; ++i) (void)repo.submit(query);
+  OverloadResult r;
+  r.capacity_qps = args.iters / seconds_since(t0);
+  const double exec_ms = 1000.0 / r.capacity_qps;
+  r.deadline_ms = std::max(4.0 * exec_ms, 50.0);
+  // A query may be dispatched just before its deadline and still run to
+  // completion, so the ceiling is budget + execution slack.
+  r.bound_ms = r.deadline_ms + std::max(500.0, 10.0 * exec_ms);
+  // Offer 2x capacity for long enough that the arrival phase spans ~6
+  // deadline budgets — the excess accumulates at `capacity_qps` per
+  // second of wall time, so the queue tail provably expires.  (Blocking
+  // enqueue backpressure at max_pending only adds queue-side wait.)
+  const double target_qps = 2.0 * r.capacity_qps;
+  r.offered = std::min(
+      8000, std::max({40, 2 * args.iters,
+                      static_cast<int>(6.0 * (r.deadline_ms / 1000.0) *
+                                       target_qps)}));
+
+  adr::QuerySubmissionService service(repo);
+  adr::QuerySubmissionService::GangPolicy no_gangs;
+  no_gangs.enabled = false;  // gangs would raise capacity mid-measurement
+  service.set_gang_policy(no_gangs);
+
+  std::mutex done_mutex;
+  std::unordered_map<std::uint64_t, std::chrono::steady_clock::time_point> done_at;
+  service.set_completion_callback([&](std::uint64_t ticket) {
+    std::lock_guard<std::mutex> lk(done_mutex);
+    done_at[ticket] = std::chrono::steady_clock::now();
+  });
+  service.start(1);
+
+  std::vector<std::pair<std::uint64_t, std::chrono::steady_clock::time_point>>
+      submitted;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < r.offered; ++i) {
+    std::this_thread::sleep_until(
+        start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(i / target_qps)));
+    adr::ExecOptions options;
+    options.qos = adr::Qos::within(
+        std::chrono::milliseconds(static_cast<std::int64_t>(r.deadline_ms)));
+    const auto tq = std::chrono::steady_clock::now();
+    const auto ticket =
+        service.enqueue(query, {}, /*client_id=*/1 + (i % 4), options);
+    submitted.emplace_back(ticket, tq);
+  }
+  service.drain();
+  service.stop();
+  r.offered_qps = r.offered / seconds_since(start);
+
+  std::vector<double> admitted_ms;
+  for (const auto& [ticket, tq] : submitted) {
+    const auto outcome = service.take(ticket);
+    if (outcome.ok()) {
+      ++r.admitted;
+      const auto it = done_at.find(ticket);
+      if (it != done_at.end()) {
+        admitted_ms.push_back(
+            std::chrono::duration<double, std::milli>(it->second - tq).count());
+      }
+    } else if (outcome.status.code == adr::StatusCode::kDeadlineExceeded) {
+      ++r.shed;
+    } else {
+      std::cerr << "bench: unexpected overload outcome: "
+                << outcome.status.to_string() << "\n";
+      ++r.other_failures;
+    }
+  }
+  if (!admitted_ms.empty()) {
+    std::sort(admitted_ms.begin(), admitted_ms.end());
+    const auto at = [&](double q) {
+      return admitted_ms[std::min(
+          admitted_ms.size() - 1,
+          static_cast<std::size_t>(admitted_ms.size() * q))];
+    };
+    r.admitted_p50_ms = at(0.50);
+    r.admitted_p99_ms = at(0.99);
+  }
+  return r;
+}
+
+// Overload mode is its own run: report, JSON artifact, enforced checks.
+int run_overload_mode(const Args& args) {
+  const auto base = std::filesystem::temp_directory_path() /
+                    ("adr_bench_overload_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(base);
+  const OverloadResult r = run_overload(args, base);
+  std::filesystem::remove_all(base);
+
+  std::cout << "overload (1 worker, offered 2x capacity, deadline "
+            << adr::fmt(r.deadline_ms, 1) << " ms): capacity "
+            << adr::fmt(r.capacity_qps, 2) << " qps, offered "
+            << adr::fmt(r.offered_qps, 2) << " qps x " << r.offered
+            << " queries -> admitted " << r.admitted << " (p50 "
+            << adr::fmt(r.admitted_p50_ms, 1) << " ms, p99 "
+            << adr::fmt(r.admitted_p99_ms, 1) << " ms, bound "
+            << adr::fmt(r.bound_ms, 1) << " ms), shed " << r.shed
+            << ", other failures " << r.other_failures << "\n";
+
+  std::ofstream json(args.out_path);
+  json << "{\n  \"bench\": \"submit_throughput_overload\",\n"
+       << "  \"iters\": " << args.iters << ",\n"
+       << "  \"nodes\": " << args.nodes << ",\n"
+       << "  \"offered\": " << r.offered << ",\n"
+       << "  \"capacity_qps\": " << r.capacity_qps << ",\n"
+       << "  \"offered_qps\": " << r.offered_qps << ",\n"
+       << "  \"deadline_ms\": " << r.deadline_ms << ",\n"
+       << "  \"bound_ms\": " << r.bound_ms << ",\n"
+       << "  \"admitted\": " << r.admitted << ",\n"
+       << "  \"shed\": " << r.shed << ",\n"
+       << "  \"other_failures\": " << r.other_failures << ",\n"
+       << "  \"admitted_p50_ms\": " << r.admitted_p50_ms << ",\n"
+       << "  \"admitted_p99_ms\": " << r.admitted_p99_ms << "\n}\n";
+  std::cout << "wrote " << args.out_path << "\n";
+
+  // Enforced acceptance: every outcome is typed (ok or shed), sustained
+  // 2x overload must actually shed, the earliest arrivals must get
+  // through, and the admitted p99 stays under the deadline-derived bound.
+  if (r.other_failures != 0) {
+    std::cerr << "bench: " << r.other_failures
+              << " overload queries failed with a code other than "
+                 "kDeadlineExceeded\n";
+    return 1;
+  }
+  if (r.shed == 0) {
+    std::cerr << "bench: 2x overload shed nothing — deadlines not enforced\n";
+    return 1;
+  }
+  if (r.admitted == 0) {
+    std::cerr << "bench: overload admitted nothing\n";
+    return 1;
+  }
+  if (r.admitted_p99_ms > r.bound_ms) {
+    std::cerr << "bench: admitted p99 " << adr::fmt(r.admitted_p99_ms, 1)
+              << " ms exceeds bound " << adr::fmt(r.bound_ms, 1)
+              << " ms (deadline " << adr::fmt(r.deadline_ms, 1) << " ms)\n";
+    return 1;
+  }
+  return 0;
+}
+
 // Runs a few queries through the scheduler with tracing on and writes
 // the lifecycle spans as a Chrome trace (the CI Perfetto artifact).
 void write_trace_sample(const Args& args, const std::filesystem::path& dir) {
@@ -481,6 +675,7 @@ void write_trace_sample(const Args& args, const std::filesystem::path& dir) {
 
 int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
+  if (args.overload) return run_overload_mode(args);
 
   const auto base = std::filesystem::temp_directory_path() /
                     ("adr_bench_submit_" + std::to_string(::getpid()));

@@ -22,6 +22,8 @@ const char* to_string(StatusCode code) {
       return "internal";
     case StatusCode::kIoError:
       return "io-error";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline-exceeded";
   }
   return "unknown";
 }

@@ -37,6 +37,11 @@ enum class StatusCode : std::uint16_t {
   /// read, injected fault).  Retrying an idempotent query may succeed —
   /// declustered farms survive transient per-disk failures.
   kIoError = 8,
+  /// The query's Qos deadline passed before a result could be produced:
+  /// the scheduler shed it from the queue, or the server refused it
+  /// because even the retry hint overshoots the deadline.  Never
+  /// retryable — the deadline is just as expired on the next attempt.
+  kDeadlineExceeded = 9,
 };
 
 /// Client-side retry classification: kBusy is always retryable (the

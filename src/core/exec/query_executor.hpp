@@ -32,6 +32,7 @@
 #include <memory>
 
 #include "core/aggregation.hpp"
+#include "core/qos.hpp"
 #include "core/exec/exec_stats.hpp"
 #include "core/planner/cost_model.hpp"
 #include "core/planner/planner.hpp"
@@ -41,6 +42,10 @@
 namespace adr {
 
 struct ExecOptions {
+  /// Quality-of-service contract riding with the query: deadline,
+  /// priority class, drop-on-expiry flag (core/qos.hpp).  The scheduler
+  /// and server honor it; execution itself never aborts mid-query.
+  Qos qos;
   /// Charge the initialization-phase output read + ghost broadcast
   /// (paper Fig. 7 "communication for replicated output blocks").
   bool init_from_output = true;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
+#include <bit>
 #include <cassert>
 #include <chrono>
 #include <mutex>
@@ -50,10 +52,11 @@ struct SchedulerMetrics {
   obs::Counter& rejected;
   obs::Counter& completed;
   obs::Counter& failed;
-  obs::Counter& gangs_formed;
+  obs::Counter& shed;
   obs::Gauge& queue_depth;
   obs::Gauge& in_flight;
   obs::Histogram& queue_wait;
+  obs::Counter& gangs_formed;
 };
 
 SchedulerMetrics& scheduler_metrics() {
@@ -61,10 +64,11 @@ SchedulerMetrics& scheduler_metrics() {
                             obs::metrics().counter("scheduler.rejected"),
                             obs::metrics().counter("scheduler.completed"),
                             obs::metrics().counter("scheduler.failed"),
-                            obs::metrics().counter("scheduler.gangs_formed"),
+                            obs::metrics().counter("scheduler.shed"),
                             obs::metrics().gauge("scheduler.queue_depth"),
                             obs::metrics().gauge("scheduler.in_flight"),
-                            obs::metrics().histogram("scheduler.queue_wait_s")};
+                            obs::metrics().histogram("scheduler.queue_wait_s"),
+                            obs::metrics().counter("scheduler.gangs_formed")};
   return m;
 }
 
@@ -162,10 +166,22 @@ void record_submit_success(QueryResult& result, double elapsed_s) {
 
 }  // namespace
 
+namespace {
+RepositoryConfig merge_runtime(RepositoryConfig config, const RuntimeConfig& runtime) {
+  runtime.check();
+  config.executor_pool_size = runtime.executor_pool_size;
+  return config;
+}
+}  // namespace
+
+Repository::Repository(const RepositoryConfig& config, const RuntimeConfig& runtime)
+    : Repository(merge_runtime(config, runtime)) {}
+
 Repository::Repository(const RepositoryConfig& config) : config_(config) {
   if (config_.num_nodes < 1 || config_.disks_per_node < 1) {
     throw std::invalid_argument("Repository: bad machine shape");
   }
+  executor_pool_limit_ = std::max<std::size_t>(1, config_.executor_pool_size);
   if (config_.storage_dir.empty()) {
     store_ = std::make_unique<MemoryChunkStore>(config_.total_disks());
   } else {
@@ -212,7 +228,7 @@ ThreadExecutorPool& Repository::thread_pool() {
   if (executor_pool_ == nullptr) {
     executor_pool_ = std::make_unique<ThreadExecutorPool>(
         config_.num_nodes, config_.disks_per_node, &active_store(),
-        config_.executor_pool_size);
+        executor_pool_limit_);
   }
   return *executor_pool_;
 }
@@ -220,6 +236,23 @@ ThreadExecutorPool& Repository::thread_pool() {
 ThreadExecutorPool::Stats Repository::executor_pool_stats() const {
   std::lock_guard lock(executor_pool_mutex_);
   return executor_pool_ ? executor_pool_->stats() : ThreadExecutorPool::Stats{};
+}
+
+void Repository::set_executor_pool_limit(std::size_t limit, bool warm) {
+  if (limit < 1) limit = 1;
+  ThreadExecutorPool* pool = nullptr;
+  {
+    std::lock_guard lock(executor_pool_mutex_);
+    executor_pool_limit_ = limit;
+    pool = executor_pool_.get();
+  }
+  // Pool calls happen outside executor_pool_mutex_: set_max_resident may
+  // join executor threads and prewarm spawns them — neither belongs
+  // under the lock concurrent submits take for every lease.
+  if (pool != nullptr) {
+    pool->set_max_resident(limit);
+    if (warm) pool->prewarm(limit);
+  }
 }
 
 std::uint32_t Repository::create_dataset(const std::string& name, const Rect& domain,
@@ -957,9 +990,20 @@ void QuerySubmissionService::stop() {
   stopping_ = false;
 }
 
+QuerySubmissionService::QuerySubmissionService(Repository& repository,
+                                               const RuntimeConfig& runtime)
+    : QuerySubmissionService((runtime.check(), repository), runtime.max_pending) {
+  gang_policy_ = runtime.gang;
+}
+
 void QuerySubmissionService::set_gang_policy(const GangPolicy& policy) {
   std::lock_guard lock(mutex_);
   gang_policy_ = policy;
+}
+
+void QuerySubmissionService::set_gang_window(std::chrono::microseconds window) {
+  std::lock_guard lock(mutex_);
+  gang_policy_.window = window;
 }
 
 QuerySubmissionService::GangPolicy QuerySubmissionService::gang_policy() const {
@@ -1073,18 +1117,31 @@ std::optional<QuerySubmissionService::Outcome> QuerySubmissionService::try_take(
 }
 
 bool QuerySubmissionService::pop_runnable(Pending& out) {
+  // Candidates are each idle lane's *head* (later queries of the same
+  // client never overtake it); among those the highest Qos priority
+  // wins, earliest accepted breaking ties.  All-default priorities
+  // degenerate to the historical first-free-lane FIFO scan.
+  auto best = queue_.end();
+  std::unordered_set<std::uint64_t> seen;
   for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-    if (busy_clients_.contains(it->client)) continue;  // keep the lane FIFO
-    out = std::move(*it);
-    queue_.erase(it);
-    busy_clients_.insert(out.client);
-    running_.insert(out.ticket);
-    ++in_flight_;
-    scheduler_metrics().queue_depth.add(-1);
-    scheduler_metrics().in_flight.add(1);
-    return true;
+    if (!seen.insert(it->client).second) continue;  // not the lane head
+    if (busy_clients_.contains(it->client)) continue;
+    if (best == queue_.end() ||
+        it->options.qos.priority > best->options.qos.priority) {
+      best = it;
+      // Nothing outranks interactive; the earliest one already wins.
+      if (it->options.qos.priority == QosPriority::kInteractive) break;
+    }
   }
-  return false;
+  if (best == queue_.end()) return false;
+  out = std::move(*best);
+  queue_.erase(best);
+  busy_clients_.insert(out.client);
+  running_.insert(out.ticket);
+  ++in_flight_;
+  scheduler_metrics().queue_depth.add(-1);
+  scheduler_metrics().in_flight.add(1);
+  return true;
 }
 
 void QuerySubmissionService::form_gang_locked(std::vector<Pending>& gang) {
@@ -1136,7 +1193,61 @@ void QuerySubmissionService::finish_locked(std::uint64_t ticket, std::uint64_t c
   ++completed_;
 }
 
+namespace {
+
+double load_ewma_s(const std::atomic<std::uint64_t>& bits) {
+  return std::bit_cast<double>(bits.load(std::memory_order_relaxed));
+}
+
+// alpha = 0.2: a few queries of history — reactive enough to track a
+// load shift, smooth enough that one outlier doesn't trigger mass sheds.
+void update_ewma_s(std::atomic<std::uint64_t>& bits, double sample) {
+  std::uint64_t cur = bits.load(std::memory_order_relaxed);
+  for (;;) {
+    const double prev = std::bit_cast<double>(cur);
+    const double next = prev <= 0.0 ? sample : 0.8 * prev + 0.2 * sample;
+    if (bits.compare_exchange_weak(cur, std::bit_cast<std::uint64_t>(next),
+                                   std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+bool QuerySubmissionService::maybe_shed(Pending& p) {
+  const Qos& qos = p.options.qos;
+  if (!qos.drop_on_expiry || !qos.has_deadline()) return false;
+  const auto now = std::chrono::steady_clock::now();
+  bool shed = now >= qos.deadline;
+  if (!shed) {
+    // Predictive half: with `ewma` seconds of typical execution ahead,
+    // a smaller remaining budget cannot make the deadline — shedding
+    // now returns the slot to work that still can.
+    const double ewma_s = load_ewma_s(exec_ewma_bits_);
+    if (ewma_s > 0.0) {
+      shed = std::chrono::duration<double>(qos.deadline - now).count() < ewma_s;
+    }
+  }
+  if (!shed) return false;
+  scheduler_metrics().queue_wait.observe(seconds_since(p.enqueued_at));
+  scheduler_metrics().in_flight.add(-1);
+  scheduler_metrics().shed.add();
+  Outcome out;
+  out.status = Status::make(StatusCode::kDeadlineExceeded,
+                            "deadline exceeded before execution");
+  {
+    std::lock_guard lock(mutex_);
+    finish_locked(p.ticket, p.client, std::move(out));
+  }
+  work_cv_.notify_all();
+  done_cv_.notify_all();
+  if (completion_cb_) completion_cb_(p.ticket);
+  return true;
+}
+
 void QuerySubmissionService::run_one(Pending&& p) {
+  if (maybe_shed(p)) return;
   // Dispatch latency: how long the accepted query sat in the queue.
   const double wait_s = seconds_since(p.enqueued_at);
   scheduler_metrics().queue_wait.observe(wait_s);
@@ -1159,7 +1270,9 @@ void QuerySubmissionService::run_one(Pending&& p) {
     // The per-tile phase timeline feeds the exported trace; recording it
     // costs a couple of timestamps per phase, paid only while tracing.
     exec_options.record_trace = exec_options.record_trace || tracing;
+    const auto exec_start = std::chrono::steady_clock::now();
     out.result = repository_->submit(p.query, p.costs, exec_options);
+    update_ewma_s(exec_ewma_bits_, seconds_since(exec_start));
   } catch (const std::exception& e) {
     out.status = status_from_exception(e);
     ADR_WARN("submission service: ticket " << p.ticket << " failed: " << e.what());
@@ -1179,6 +1292,21 @@ void QuerySubmissionService::run_one(Pending&& p) {
 }
 
 void QuerySubmissionService::run_gang(std::vector<Pending>&& gang) {
+  // Shed expired members before the gang commits to execution; a gang
+  // reduced below two members falls back to the serial path.
+  {
+    std::vector<Pending> live;
+    live.reserve(gang.size());
+    for (Pending& p : gang) {
+      if (!maybe_shed(p)) live.push_back(std::move(p));
+    }
+    if (live.empty()) return;
+    if (live.size() == 1) {
+      run_one(std::move(live.front()));
+      return;
+    }
+    gang = std::move(live);
+  }
   obs::QueryTracer& tr = obs::tracer();
   const bool tracing = tr.enabled();
   std::vector<SubmitRequest> requests;
@@ -1213,7 +1341,12 @@ void QuerySubmissionService::run_gang(std::vector<Pending>&& gang) {
   bool whole_batch_failed = false;
   Status batch_status;
   try {
+    const auto exec_start = std::chrono::steady_clock::now();
     outs = repository_->submit_batch(requests);
+    // Per-member execution estimate: the gang runs as one unit, so each
+    // member is billed an equal share of the batch wall time.
+    update_ewma_s(exec_ewma_bits_,
+                  seconds_since(exec_start) / static_cast<double>(requests.size()));
   } catch (const std::exception& e) {
     whole_batch_failed = true;
     batch_status = status_from_exception(e);

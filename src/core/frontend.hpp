@@ -30,6 +30,7 @@
 //   if (outs[0].status.ok()) use(outs[0].result);
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -49,6 +50,7 @@
 #include "common/fair_shared_mutex.hpp"
 #include "common/status.hpp"
 #include "core/aggregation.hpp"
+#include "core/runtime_config.hpp"
 #include "core/attribute_space.hpp"
 #include "core/exec/exec_stats.hpp"
 #include "core/exec/query_executor.hpp"
@@ -190,6 +192,12 @@ class Repository {
  public:
   explicit Repository(const RepositoryConfig& config);
 
+  /// RuntimeConfig overload: `runtime` is validated (throws
+  /// StatusError{kInvalidArgument}) and its executor_pool_size overrides
+  /// the RepositoryConfig field, so one struct carries every dynamic
+  /// knob (see core/runtime_config.hpp).
+  Repository(const RepositoryConfig& config, const RuntimeConfig& runtime);
+
   const RepositoryConfig& config() const { return config_; }
 
   AttributeSpaceService& attribute_spaces() { return spaces_; }
@@ -212,6 +220,13 @@ class Repository {
   /// Executor-pool counters so far (zeros before the first thread-backend
   /// submit or when reuse_executor is off).
   ThreadExecutorPool::Stats executor_pool_stats() const;
+
+  /// Moves the executor pool's resident cap at runtime (the adaptive
+  /// controller's scale actuator; clamped to >= 1).  `warm` additionally
+  /// constructs idle executors up to the new cap so the next burst does
+  /// not pay thread-spawn latency.  Takes effect immediately on a live
+  /// pool and seeds the lazily-created one otherwise.
+  void set_executor_pool_limit(std::size_t limit, bool warm = false);
 
   /// Loads a dataset (paper's four-step load) and returns its id.
   std::uint32_t create_dataset(const std::string& name, const Rect& domain,
@@ -361,6 +376,10 @@ class Repository {
   /// Lazily-created pool of warm thread executors shared by all submits.
   mutable std::mutex executor_pool_mutex_;
   std::unique_ptr<ThreadExecutorPool> executor_pool_;
+  /// Resident cap for the pool; starts at config_.executor_pool_size and
+  /// moves via set_executor_pool_limit() (guarded by executor_pool_mutex_
+  /// so it never races the pool's lazy construction).
+  std::size_t executor_pool_limit_ = 0;
 };
 
 /// Query submission service (paper Fig. 2): clients enqueue queries
@@ -387,23 +406,32 @@ class Repository {
 /// join a gang, and an examined-but-unsuitable query blocks its lane's
 /// later queries from overtaking it.  See docs/batching.md.
 ///
+/// Qos (core/qos.hpp): dispatch picks the highest-priority runnable
+/// lane head (FIFO within each client lane is never reordered), and a
+/// queued query whose deadline has expired — or whose remaining budget
+/// is below the recent execution-time EWMA — is *shed* instead of run:
+/// its ticket completes with kDeadlineExceeded and the scheduler.shed
+/// counter ticks.  Deadlines with drop_on_expiry == false are advisory
+/// and never shed.  See docs/scheduling.md.
+///
 /// take(ticket)/try_take(ticket) retrieve one result and release its
 /// slot; drain() blocks until everything accepted so far has finished;
 /// stop() drains and joins the workers.
 class QuerySubmissionService {
  public:
-  /// Gang formation policy (see class comment).  window == 0 still
-  /// gangs queries that are already queued together; a positive window
-  /// also waits for near-simultaneous arrivals.
-  struct GangPolicy {
-    bool enabled = true;
-    std::size_t max_gang = 8;
-    std::chrono::microseconds window{0};
-  };
+  /// Gang formation policy (now adr::GangPolicy in core/runtime_config.hpp;
+  /// this alias keeps the historical nested name compiling).
+  using GangPolicy = adr::GangPolicy;
 
   explicit QuerySubmissionService(Repository& repository,
                                   std::size_t max_pending = 1024)
       : repository_(&repository), max_pending_(max_pending) {}
+
+  /// RuntimeConfig overload: validates `runtime` (throws
+  /// StatusError{kInvalidArgument}) and adopts its max_pending and gang
+  /// policy.  start() still takes the worker count — the server decides
+  /// when (and whether) to spin the pool up.
+  QuerySubmissionService(Repository& repository, const RuntimeConfig& runtime);
   ~QuerySubmissionService();
 
   QuerySubmissionService(const QuerySubmissionService&) = delete;
@@ -418,6 +446,10 @@ class QuerySubmissionService {
   /// Replaces the gang formation policy (call before start()).
   void set_gang_policy(const GangPolicy& policy);
   GangPolicy gang_policy() const;
+
+  /// Replaces only the formation window, safely while workers run (the
+  /// adaptive controller's batching actuator: 0 closes the window).
+  void set_gang_window(std::chrono::microseconds window);
 
   /// Registers a hook invoked once per finished ticket, on the worker
   /// thread that finished it, after the outcome is retrievable via
@@ -510,8 +542,16 @@ class QuerySubmissionService {
   void worker_loop();
   void run_one(Pending&& p);
   void run_gang(std::vector<Pending>&& gang);
-  // Pops the earliest queued query whose client lane is idle (caller
-  // holds mutex_); marks the lane busy.
+  // Deadline shed check at dispatch time: true (and the outcome is
+  // recorded as kDeadlineExceeded) when the query's Qos says drop on
+  // expiry and either the deadline has passed or the execution-latency
+  // EWMA predicts it will pass before the result lands.  Called without
+  // mutex_ held.  See docs/scheduling.md.
+  bool maybe_shed(Pending& p);
+  // Pops the best runnable queued query: among the head entry of each
+  // idle client lane, the highest Qos priority wins, earliest accepted
+  // breaking ties (all-default priorities reproduce plain FIFO).  Caller
+  // holds mutex_; marks the winner's lane busy.
   bool pop_runnable(Pending& out);
   // Moves queued queries that can join `leader`'s gang out of the queue
   // (caller holds mutex_); marks their lanes busy.  Respects lane FIFO:
@@ -546,6 +586,11 @@ class QuerySubmissionService {
   std::map<std::uint64_t, QueryResult> results_;
   std::map<std::uint64_t, Status> errors_;
   std::uint64_t next_ticket_ = 1;
+  /// EWMA of recent per-query execution wall seconds (atomic double
+  /// bits; updated outside mutex_ after each run).  Feeds the predictive
+  /// half of maybe_shed(): a query whose remaining deadline budget is
+  /// below the typical execution time cannot finish in time.
+  std::atomic<std::uint64_t> exec_ewma_bits_{0};
 };
 
 }  // namespace adr

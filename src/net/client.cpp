@@ -174,6 +174,15 @@ WireResult AdrClient::submit_locked(const Query& query,
     if (attempt >= max_attempts) break;
     if (!is_retryable(last.status.code, policy_.idempotent)) return last;
     const auto delay = backoff_delay(attempt, last.retry_after_ms);
+    // Deadline cap: a retry that cannot start (let alone finish) before
+    // the query's Qos deadline would only burn a server slot to learn
+    // kDeadlineExceeded — stop here and return the last real failure.
+    if (options.qos.has_deadline() &&
+        std::chrono::steady_clock::now() + delay >= options.qos.deadline) {
+      ADR_DEBUG("client: deadline reached, not retrying ("
+                << last.status.to_string() << ")");
+      break;
+    }
     ADR_DEBUG("client: retrying (" << last.status.to_string() << ") in "
                                    << delay.count() << "ms, attempt "
                                    << attempt + 1 << "/" << max_attempts);
@@ -205,6 +214,13 @@ WireResult AdrClient::submit(const Query& query, const ExecOptions& options) {
     return result;
   }
   return submit_locked(query, options);
+}
+
+WireResult AdrClient::submit(const Query& query, const Qos& qos,
+                             const ExecOptions& options) {
+  ExecOptions with_qos = options;
+  with_qos.qos = qos;
+  return submit(query, with_qos);
 }
 
 void AdrClient::start_sender_locked() {
@@ -265,6 +281,13 @@ std::future<WireResult> AdrClient::submit_async(const Query& query,
   return future;
 }
 
+std::future<WireResult> AdrClient::submit_async(const Query& query, const Qos& qos,
+                                                const ExecOptions& options) {
+  ExecOptions with_qos = options;
+  with_qos.qos = qos;
+  return submit_async(query, with_qos);
+}
+
 std::optional<std::future<WireResult>> AdrClient::try_submit_async(
     const Query& query, const ExecOptions& options) {
   Pending item;
@@ -280,6 +303,13 @@ std::optional<std::future<WireResult>> AdrClient::try_submit_async(
   client_metrics().pending.add(1);
   queue_cv_.notify_all();
   return future;
+}
+
+std::optional<std::future<WireResult>> AdrClient::try_submit_async(
+    const Query& query, const Qos& qos, const ExecOptions& options) {
+  ExecOptions with_qos = options;
+  with_qos.qos = qos;
+  return try_submit_async(query, with_qos);
 }
 
 std::size_t AdrClient::pending() const {

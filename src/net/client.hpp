@@ -99,6 +99,14 @@ class AdrClient {
   /// `client.gave_up` counter ticks.
   WireResult submit(const Query& query, const ExecOptions& options = {});
 
+  /// Qos-taking overload: `qos` (deadline, priority, drop-on-expiry)
+  /// rides in the query's exec options across the wire (v6 frames carry
+  /// it as deadline-remaining ms) and additionally caps the retry loop —
+  /// no retry is attempted that could not complete before the deadline,
+  /// and kDeadlineExceeded answers are never retried.
+  WireResult submit(const Query& query, const Qos& qos,
+                    const ExecOptions& options = {});
+
   /// Enqueues a query on the bounded in-client pending queue and
   /// returns a future for its result; a background sender thread drains
   /// the queue through the same retry loop as submit().  Blocks while
@@ -107,10 +115,20 @@ class AdrClient {
   std::future<WireResult> submit_async(const Query& query,
                                        const ExecOptions& options = {});
 
+  /// Qos-taking overload of submit_async (see submit(query, qos, ...)).
+  /// The deadline keeps counting down while the query waits in the
+  /// client's pending queue — a backlogged client sheds at send time.
+  std::future<WireResult> submit_async(const Query& query, const Qos& qos,
+                                       const ExecOptions& options = {});
+
   /// Non-blocking submit_async: returns nullopt instead of blocking
   /// when the pending queue is full.
   std::optional<std::future<WireResult>> try_submit_async(
       const Query& query, const ExecOptions& options = {});
+
+  /// Qos-taking overload of try_submit_async.
+  std::optional<std::future<WireResult>> try_submit_async(
+      const Query& query, const Qos& qos, const ExecOptions& options = {});
 
   /// Queries currently waiting in the pending queue (not yet handed to
   /// the socket).

@@ -29,6 +29,7 @@
 #include "net/http_exposition.hpp"
 #include "net/socket_io.hpp"
 #include "net/wire.hpp"
+#include "obs/exposition.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
@@ -44,6 +45,7 @@ struct ServerMetrics {
   obs::Counter& connections_refused;
   obs::Counter& queries_served;
   obs::Counter& queries_refused;
+  obs::Counter& deadline_refusals;
   obs::Counter& stats_requests;
   obs::Counter& epoll_wakeups;
   obs::Counter& frames_partial;
@@ -56,6 +58,7 @@ ServerMetrics& server_metrics() {
                          obs::metrics().counter("server.connections_refused"),
                          obs::metrics().counter("server.queries_served"),
                          obs::metrics().counter("server.queries_refused"),
+                         obs::metrics().counter("server.deadline_refusals"),
                          obs::metrics().counter("server.stats_requests"),
                          obs::metrics().counter("server.epoll_wakeups"),
                          obs::metrics().counter("server.frames_partial"),
@@ -320,6 +323,30 @@ AdrServer::AdrServer(Repository& repository, std::uint16_t port,
   set_nonblocking(listen_fd_);
 }
 
+AdrServer::AdrServer(Repository& repository, std::uint16_t port,
+                     const ComputeCosts& costs, const RuntimeConfig& runtime)
+    : AdrServer((runtime.check(), repository), port, costs,
+                static_cast<int>(runtime.max_connections),
+                static_cast<int>(runtime.scheduler_workers), runtime.max_pending,
+                runtime.telemetry) {
+  scheduler_.set_gang_policy(runtime.gang);
+  if (runtime.adaptive.enabled) {
+    // Seed the pool at the band floor; the controller moves it from there.
+    repository_->set_executor_pool_limit(runtime.adaptive.min_resident,
+                                         runtime.adaptive.prewarm);
+    AdaptiveController::Actuators act;
+    const bool warm = runtime.adaptive.prewarm;
+    act.set_resident = [this, warm](std::size_t n) {
+      repository_->set_executor_pool_limit(n, warm);
+    };
+    act.set_gang_window = [this](std::chrono::microseconds w) {
+      scheduler_.set_gang_window(w);
+    };
+    adaptive_ =
+        std::make_unique<AdaptiveController>(runtime.adaptive, std::move(act));
+  }
+}
+
 AdrServer::~AdrServer() { stop(); }
 
 std::uint16_t AdrServer::http_port() const { return http_ ? http_->port() : 0; }
@@ -352,6 +379,9 @@ void AdrServer::start() {
   scheduler_.set_completion_callback(
       [this](std::uint64_t ticket) { on_ticket_done(ticket); });
   scheduler_.start(scheduler_workers_);
+  // The controller needs the sampler ring the lines above started; its
+  // tick thread no-ops until two samples exist.
+  if (adaptive_) adaptive_->start();
   loop_thread_ = std::thread([this]() { event_loop(); });
 }
 
@@ -365,6 +395,8 @@ void AdrServer::stop() {
   // Release the sampler ref taken in start() exactly once (stop() runs
   // again from the destructor).
   if (was_running && telemetry_.sampler) obs::sampler().stop();
+  // The controller must not actuate a scheduler that is tearing down.
+  if (adaptive_) adaptive_->stop();
   // The loop has exited: every connection fd is closed, in-flight
   // replies were flushed under the drain deadlines.  Now drain and join
   // the scheduler workers.
@@ -400,7 +432,16 @@ std::uint32_t AdrServer::retry_after_hint_ms() const {
   const std::int64_t depth =
       obs::metrics().gauge("scheduler.queue_depth").value() +
       obs::metrics().gauge("scheduler.in_flight").value();
-  double mean_s = obs::metrics().histogram("submit.latency_s").snapshot().mean();
+  // Prefer the *windowed* submit-latency mean (last few sampler ring
+  // samples): the cumulative mean never forgets a morning burst, so
+  // hints computed from it keep overestimating long after the burst
+  // subsides.  Fall back to cumulative when the ring is too short.
+  double mean_s =
+      obs::windowed_histogram_mean(obs::sampler().history(8), "submit.latency_s")
+          .value_or(0.0);
+  if (mean_s <= 0.0) {
+    mean_s = obs::metrics().histogram("submit.latency_s").snapshot().mean();
+  }
   if (mean_s <= 0.0) mean_s = 0.05;  // nothing measured yet: polite default
   const double eta_s =
       (static_cast<double>(std::max<std::int64_t>(depth, 0)) /
@@ -726,6 +767,19 @@ void AdrServer::loop_handle_frame(LoopState& ls, Conn& conn,
     // The exec options decoded from the frame travel with the query
     // through the scheduler to execution.
     const WireQuery wq = decode_query_frame(payload);
+    const Qos& qos = wq.options.qos;
+    // Deadline-aware admission: a drop-on-expiry query whose deadline
+    // already passed gets the typed refusal immediately — queueing it
+    // only to shed it later wastes a scheduler slot.  The connection
+    // survives: the client is behaving, its clock just ran out.
+    if (qos.drop_on_expiry && qos.expired()) {
+      ++deadline_refusals_;
+      server_metrics().deadline_refusals.add();
+      result.status = Status::make(StatusCode::kDeadlineExceeded,
+                                   "deadline expired before admission");
+      loop_reply(ls, conn, result, /*ticket=*/0, /*close_after=*/false);
+      return;
+    }
     const std::uint64_t ticket =
         scheduler_.try_enqueue(wq.query, costs_, conn.client_id, wq.options);
     if (ticket != 0) {
@@ -737,8 +791,21 @@ void AdrServer::loop_handle_frame(LoopState& ls, Conn& conn,
     ++queries_refused_;
     server_metrics().queries_refused.add();
     ADR_WARN("server: scheduler full, refusing query on fd=" << conn.fd);
-    result.status = Status::make(StatusCode::kBusy, kServerBusyError);
-    result.retry_after_ms = retry_after_hint_ms();
+    const std::uint32_t hint_ms = retry_after_hint_ms();
+    // A busy + retry-after answer is a lie when the hint overshoots the
+    // query's remaining deadline budget: the retry would only arrive to
+    // be refused again.  Tell the client the truth — kDeadlineExceeded,
+    // which its RetryPolicy never retries.
+    if (qos.drop_on_expiry && qos.has_deadline() &&
+        std::chrono::milliseconds(hint_ms) >= qos.remaining()) {
+      ++deadline_refusals_;
+      server_metrics().deadline_refusals.add();
+      result.status = Status::make(StatusCode::kDeadlineExceeded,
+                                   "saturated: a retry would miss the deadline");
+    } else {
+      result.status = Status::make(StatusCode::kBusy, kServerBusyError);
+      result.retry_after_ms = hint_ms;
+    }
     loop_reply(ls, conn, result, /*ticket=*/0, /*close_after=*/true);
     return;
   } catch (const std::exception& e) {

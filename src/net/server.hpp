@@ -58,22 +58,10 @@ namespace adr::net {
 struct WireResult;
 class HttpExpositionServer;
 
-/// Continuous-telemetry knobs: the server starts the process-wide
-/// background sampler (obs/sampler.hpp) for its lifetime so the
-/// /history endpoints always have a time-series to serve, and can
-/// optionally expose plain-HTTP /metrics + /history for stock scrapers
-/// (net/http_exposition.hpp).
-struct TelemetryOptions {
-  /// Run obs::sampler() while the server runs (refcounted — nested
-  /// servers and tests compose).
-  bool sampler = true;
-  std::chrono::milliseconds sample_period{1000};
-  /// Ring capacity in samples (default: ~5 min at the default period).
-  std::size_t sample_capacity = 300;
-  /// HTTP exposition port: -1 = disabled, 0 = ephemeral (read it back
-  /// with http_port()), else the literal loopback port.
-  int http_port = -1;
-};
+/// Continuous-telemetry knobs (now adr::TelemetryOptions, defined in
+/// core/runtime_config.hpp so RuntimeConfig can carry it; this alias
+/// keeps the historical adr::net name compiling).
+using TelemetryOptions = adr::TelemetryOptions;
 
 class AdrServer {
  public:
@@ -87,6 +75,15 @@ class AdrServer {
             const ComputeCosts& costs = {}, int max_connections = 64,
             int scheduler_workers = 4, std::size_t max_pending = 256,
             const TelemetryOptions& telemetry = {});
+
+  /// RuntimeConfig overload: one validated struct carries the
+  /// connection cap, scheduler shape, gang policy, telemetry knobs and
+  /// the adaptive controller's band (core/runtime_config.hpp).  With
+  /// runtime.adaptive.enabled the server owns an AdaptiveController
+  /// that moves the repository's executor-pool cap and the scheduler's
+  /// gang window from live sampler signals for the server's lifetime.
+  AdrServer(Repository& repository, std::uint16_t port, const ComputeCosts& costs,
+            const RuntimeConfig& runtime);
   ~AdrServer();
 
   AdrServer(const AdrServer&) = delete;
@@ -123,6 +120,15 @@ class AdrServer {
 
   /// Queries refused because the scheduler's pending queue was full.
   std::uint64_t queries_refused() const { return queries_refused_.load(); }
+
+  /// Queries refused at admission because their Qos deadline had already
+  /// expired, or a saturated-path retry hint overshot it (each got a
+  /// typed kDeadlineExceeded frame).
+  std::uint64_t deadline_refusals() const { return deadline_refusals_.load(); }
+
+  /// The adaptive controller, or nullptr when the server was built
+  /// without one (legacy constructors / runtime.adaptive.enabled off).
+  const AdaptiveController* adaptive() const { return adaptive_.get(); }
 
  private:
   struct LoopState;  // event-loop-owned state; lives on the loop's stack
@@ -169,6 +175,9 @@ class AdrServer {
   /// Routes every query; bounded by scheduler slots, shared by all
   /// connections.
   QuerySubmissionService scheduler_;
+  /// Feedback controller over the executor pool + gang window; non-null
+  /// only for the RuntimeConfig constructor with adaptive.enabled.
+  std::unique_ptr<AdaptiveController> adaptive_;
   const int scheduler_workers_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
@@ -178,6 +187,7 @@ class AdrServer {
   std::atomic<std::uint64_t> served_{0};
   std::atomic<std::uint64_t> refused_{0};
   std::atomic<std::uint64_t> queries_refused_{0};
+  std::atomic<std::uint64_t> deadline_refusals_{0};
   std::atomic<std::uint64_t> next_client_id_{1};
   std::atomic<std::int64_t> active_conns_{0};
 

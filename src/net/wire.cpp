@@ -1,6 +1,9 @@
 #include "net/wire.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <limits>
 
 namespace adr::net {
 namespace {
@@ -9,9 +12,9 @@ constexpr std::uint8_t kQueryTag = 0x51;        // 'Q'
 constexpr std::uint8_t kResultTag = 0x52;       // 'R'
 constexpr std::uint8_t kStatsRequestTag = 0x53; // 'S'
 constexpr std::uint8_t kStatsReplyTag = 0x54;   // 'T'
-// v5: stats frames carry the telemetry history (see the version map in
+// v6: query frames carry the Qos contract (see the version map in
 // wire.hpp).
-constexpr std::uint8_t kVersion = 5;
+constexpr std::uint8_t kVersion = 6;
 // Query/result bodies are unchanged since v2 except for appended
 // fields, so v2/v3 frames still decode (see the version map in wire.hpp).
 constexpr std::uint8_t kMinVersion = 2;
@@ -21,6 +24,10 @@ constexpr std::uint8_t kOptInitFromOutput = 1u << 0;
 constexpr std::uint8_t kOptWriteOutput = 1u << 1;
 constexpr std::uint8_t kOptPipelineTiles = 1u << 2;
 constexpr std::uint8_t kOptRecordTrace = 1u << 3;
+
+// Qos flag bits (v6 query frames).
+constexpr std::uint8_t kQosHasDeadline = 1u << 0;
+constexpr std::uint8_t kQosDropOnExpiry = 1u << 1;
 
 std::uint8_t check_version(Reader& r) {
   const std::uint8_t version = r.u8();
@@ -176,6 +183,23 @@ std::vector<std::byte> encode_query(const Query& query, const ExecOptions& optio
   if (options.record_trace) flags |= kOptRecordTrace;
   w.u8(flags);
   w.f64(options.comm_cpu_bytes_per_sec);
+  // v6: the Qos contract.  Deadlines are steady-clock points local to
+  // each host, so the wire carries *remaining* milliseconds — client
+  // and server clocks never need to agree.  remaining() clamps to 0:
+  // an already-expired deadline arrives as "0 ms left", which the
+  // server's admission check refuses immediately.
+  std::uint8_t qos_flags = 0;
+  if (options.qos.has_deadline()) qos_flags |= kQosHasDeadline;
+  if (options.qos.drop_on_expiry) qos_flags |= kQosDropOnExpiry;
+  w.u8(qos_flags);
+  w.u8(static_cast<std::uint8_t>(options.qos.priority));
+  std::uint32_t remaining_ms = 0;
+  if (options.qos.has_deadline()) {
+    const auto rem = options.qos.remaining();
+    remaining_ms = static_cast<std::uint32_t>(std::min<std::chrono::milliseconds::rep>(
+        rem.count(), std::numeric_limits<std::uint32_t>::max()));
+  }
+  w.u32(remaining_ms);
   return w.take();
 }
 
@@ -205,6 +229,21 @@ WireQuery decode_query_frame(std::span<const std::byte> payload) {
     wq.options.pipeline_tiles = (flags & kOptPipelineTiles) != 0;
     wq.options.record_trace = (flags & kOptRecordTrace) != 0;
     wq.options.comm_cpu_bytes_per_sec = r.f64();
+  }
+  if (version >= 6) {
+    const std::uint8_t qos_flags = r.u8();
+    const std::uint8_t priority = r.u8();
+    const std::uint32_t remaining_ms = r.u32();
+    wq.options.qos.drop_on_expiry = (qos_flags & kQosDropOnExpiry) != 0;
+    wq.options.qos.priority =
+        priority <= static_cast<std::uint8_t>(QosPriority::kInteractive)
+            ? static_cast<QosPriority>(priority)
+            : QosPriority::kNormal;
+    if ((qos_flags & kQosHasDeadline) != 0) {
+      // Rebuild an absolute deadline on the receiver's steady clock.
+      wq.options.qos.deadline = std::chrono::steady_clock::now() +
+                                std::chrono::milliseconds(remaining_ms);
+    }
   }
   if (!r.done()) throw WireError("wire: trailing bytes after query");
   return wq;

@@ -22,11 +22,14 @@
 //   v5  stats requests carry an include-history flag and a sample cap;
 //       stats replies carry the telemetry sampler's time-series history
 //       as JSON (empty when not requested or the sampler is idle)
-// Encoders emit v5; query/result decoders also accept v2..v4 frames —
-// missing fields default (exec options to their defaults, and the
-// status code is inferred from the ok flag and the "server busy"
-// message).  Stats frames are v3+; v3/v4 stats frames decode with the
-// history fields defaulted/empty.
+//   v6  query frames carry the Qos contract (flag byte + priority +
+//       deadline-remaining milliseconds; deadlines travel as remaining
+//       time so the two hosts' steady clocks never need to agree)
+// Encoders emit v6; query/result decoders also accept v2..v5 frames —
+// missing fields default (exec options to their defaults, Qos to none,
+// and the status code is inferred from the ok flag and the "server
+// busy" message).  Stats frames are v3+; v3/v4 stats frames decode with
+// the history fields defaulted/empty.
 #pragma once
 
 #include <cstddef>

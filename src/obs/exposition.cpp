@@ -109,6 +109,20 @@ double counter_rate(std::uint64_t prev, std::uint64_t cur, double dt_seconds) {
   return static_cast<double>(counter_delta(prev, cur)) / dt_seconds;
 }
 
+std::optional<double> windowed_histogram_mean(
+    const std::vector<TelemetrySample>& samples, const std::string& series) {
+  if (samples.size() < 2) return std::nullopt;
+  const HistogramSnapshot* first = samples.front().snapshot.histogram(series);
+  const HistogramSnapshot* last = samples.back().snapshot.histogram(series);
+  if (first == nullptr || last == nullptr) return std::nullopt;
+  // A shrinking count or sum means the registry was reset mid-window;
+  // the deltas would be garbage, so report "no windowed estimate".
+  if (last->count < first->count || last->sum < first->sum) return std::nullopt;
+  const std::uint64_t count = last->count - first->count;
+  if (count == 0) return std::nullopt;
+  return (last->sum - first->sum) / static_cast<double>(count);
+}
+
 std::string history_to_json(const std::vector<TelemetrySample>& samples,
                             const HistoryMeta& meta) {
   std::ostringstream os;

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,17 @@ std::uint64_t counter_delta(std::uint64_t prev, std::uint64_t cur);
 /// counter_delta over an interval, as a per-second rate.  0 when the
 /// interval is empty or non-positive.
 double counter_rate(std::uint64_t prev, std::uint64_t cur, double dt_seconds);
+
+/// Mean of `series`' observations recorded *inside the sampled window*
+/// (sum/count deltas between the oldest and newest of `samples`), vs
+/// the since-boot mean HistogramSnapshot::mean() reports.  The server's
+/// retry-after hints use this so a morning burst stops biasing the
+/// afternoon's estimates.  nullopt when fewer than two samples exist,
+/// the series is absent, no new observations landed in the window, or
+/// the series reset (count/sum went backwards) — callers fall back to
+/// the cumulative mean.
+std::optional<double> windowed_histogram_mean(
+    const std::vector<TelemetrySample>& samples, const std::string& series);
 
 /// The /history JSON document (schema in docs/observability.md):
 /// {"period_ms","samples","capacity","total_samples","t_ms":[...],

@@ -73,6 +73,45 @@ ThreadExecutorPool::Lease ThreadExecutorPool::acquire() {
   return Lease(this, std::move(executor));
 }
 
+void ThreadExecutorPool::set_max_resident(std::size_t max_resident) {
+  if (max_resident < 1) max_resident = 1;
+  // Collect the excess under the lock, join their threads outside it.
+  std::vector<std::unique_ptr<ThreadExecutor>> excess;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    max_resident_ = max_resident;
+    while (idle_.size() > max_resident_) {
+      excess.push_back(std::move(idle_.back()));
+      idle_.pop_back();
+      pool_metrics().resident.add(-1);
+    }
+  }
+  excess.clear();
+}
+
+std::size_t ThreadExecutorPool::max_resident() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_resident_;
+}
+
+void ThreadExecutorPool::prewarm(std::size_t n) {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (idle_.size() >= n || idle_.size() >= max_resident_) return;
+    }
+    // Thread spawn outside the lock; re-check before inserting in case
+    // the cap moved or another prewarmer got there first.
+    auto executor =
+        std::make_unique<ThreadExecutor>(num_nodes_, disks_per_node_, store_);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (idle_.size() >= n || idle_.size() >= max_resident_) return;
+    ++created_;
+    idle_.push_back(std::move(executor));
+    pool_metrics().resident.add(1);
+  }
+}
+
 void ThreadExecutorPool::release(std::unique_ptr<ThreadExecutor> executor) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -93,6 +132,7 @@ ThreadExecutorPool::Stats ThreadExecutorPool::stats() const {
   s.leases = leases_;
   s.reuses = reuses_;
   s.resident = idle_.size();
+  s.max_resident = max_resident_;
   return s;
 }
 

@@ -40,6 +40,8 @@ class ThreadExecutorPool {
     std::uint64_t reuses = 0;
     /// Warm executors currently idle in the pool.
     std::size_t resident = 0;
+    /// Current cap on idle executors (moved by set_max_resident()).
+    std::size_t max_resident = 0;
   };
 
   /// Executors are built as ThreadExecutor(num_nodes, disks_per_node,
@@ -76,6 +78,17 @@ class ThreadExecutorPool {
   /// Never blocks: reuses a warm executor or constructs a fresh one.
   Lease acquire();
 
+  /// Moves the resident cap (clamped to >= 1).  Shrinking destroys the
+  /// now-excess idle executors (threads joined, outside the pool lock);
+  /// growing takes effect as executors are released back.  The adaptive
+  /// controller's scale actuator.
+  void set_max_resident(std::size_t max_resident);
+  std::size_t max_resident() const;
+
+  /// Constructs idle executors up to min(n, max_resident) so a scale-up
+  /// decision pays the thread-spawn cost here, off the query path.
+  void prewarm(std::size_t n);
+
   Stats stats() const;
 
  private:
@@ -85,9 +98,10 @@ class ThreadExecutorPool {
   const int num_nodes_;
   const int disks_per_node_;
   ChunkStore* const store_;
-  const std::size_t max_resident_;
 
   mutable std::mutex mutex_;
+  /// Idle cap; dynamic since the adaptive controller (guarded by mutex_).
+  std::size_t max_resident_;
   std::vector<std::unique_ptr<ThreadExecutor>> idle_;
   std::uint64_t created_ = 0;
   std::uint64_t leases_ = 0;
