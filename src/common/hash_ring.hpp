@@ -1,0 +1,75 @@
+// Consistent-hash ring for the sharded serving tier.
+//
+// The router (net/router.hpp) partitions queries over N independent
+// backends by dataset signature, the serving-tier rebirth of the
+// paper's declustering step: the same "spread related work, keep
+// placement stable under membership change" requirement, one level up.
+// A plain modulo would remap nearly every key when a backend joins or
+// leaves; the ring remaps only the keys whose arc the changed node
+// owned — ~K/N of them — so backend-local caches (chunk cache,
+// marginal cache) survive scale-out events.
+//
+// Each node is hashed onto the ring at `vnodes_per_node` pseudo-random
+// points (virtual nodes flatten the per-node load variance of a single
+// placement from O(1) to O(1/sqrt(V))); a key is owned by the first
+// vnode clockwise from its hash.  replicas(key, n) walks further
+// clockwise collecting the next distinct nodes — the ordered candidate
+// list the router uses for replica fan-out and failover.
+//
+// Not thread-safe: the router snapshots membership under its own lock.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace adr {
+
+/// Stateless splitmix64 finalizer: the ring's point and key hash.
+/// Public so callers (dataset signatures, tests) mix with the same
+/// function the ring uses.
+std::uint64_t mix64(std::uint64_t x);
+
+class HashRing {
+ public:
+  /// `vnodes_per_node` must be >= 1 (throws std::invalid_argument).
+  explicit HashRing(int vnodes_per_node = 64);
+
+  /// Inserts a node (no-op if already present).
+  void add_node(std::uint64_t node);
+
+  /// Removes a node; returns true if it was present.
+  bool remove_node(std::uint64_t node);
+
+  bool contains(std::uint64_t node) const;
+
+  /// Distinct nodes on the ring.
+  std::size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+
+  /// The node owning `key` (first vnode clockwise from hash(key)).
+  /// Throws std::logic_error on an empty ring.
+  std::uint64_t lookup(std::uint64_t key) const;
+
+  /// Up to `n` distinct nodes in ring order starting at the owner: the
+  /// ordered replica/failover candidates for `key`.  n >= size()
+  /// returns every node (still in ring order for this key).
+  std::vector<std::uint64_t> replicas(std::uint64_t key, std::size_t n) const;
+
+  /// Sorted node list (membership snapshot, for tests/introspection).
+  std::vector<std::uint64_t> nodes() const { return nodes_; }
+
+ private:
+  struct VNode {
+    std::uint64_t point;
+    std::uint64_t node;
+  };
+
+  /// Index of the first vnode clockwise from `point`.
+  std::size_t successor(std::uint64_t point) const;
+
+  int vnodes_per_node_;
+  std::vector<VNode> ring_;  // sorted by point (ties broken by node)
+  std::vector<std::uint64_t> nodes_;  // sorted
+};
+
+}  // namespace adr

@@ -48,6 +48,11 @@ Status transport_lost_status() {
                       "connection lost before result");
 }
 
+Status connect_failed_status() {
+  return Status::make(StatusCode::kUnavailable,
+                      "connect failed before send");
+}
+
 }  // namespace
 
 AdrClient::AdrClient(std::uint16_t port) : AdrClient(port, RetryPolicy{}) {}
@@ -107,13 +112,19 @@ bool AdrClient::connect_locked() {
     ::close(fd);
     return false;
   }
+  set_tcp_nodelay(fd);
   fd_ = fd;
   return true;
 }
 
 std::optional<WireResult> AdrClient::attempt_locked(const Query& query,
-                                                    const ExecOptions& options) {
+                                                    const ExecOptions& options,
+                                                    bool& sent) {
+  sent = false;
   if (!connect_locked()) return std::nullopt;
+  // From here on bytes may reach the server even if the write reports
+  // failure (partial send), so the query must be presumed executed.
+  sent = true;
   if (!write_frame(fd_, encode_query(query, options))) {
     ::close(fd_);
     fd_ = -1;
@@ -160,19 +171,29 @@ WireResult AdrClient::submit_locked(const Query& query,
   const int max_attempts = std::max(1, policy_.max_attempts);
   WireResult last;
   for (int attempt = 1;; ++attempt) {
-    std::optional<WireResult> result = attempt_locked(query, options);
+    bool sent = false;
+    std::optional<WireResult> result = attempt_locked(query, options, sent);
     if (result.has_value()) {
       last = std::move(*result);
-    } else {
-      // Transport loss: connect refused, send failed, or the connection
-      // closed before the result frame (e.g. a dropped reply).
+    } else if (sent) {
+      // Transport loss after bytes went out: send failed mid-frame or
+      // the connection closed before the result frame (e.g. a dropped
+      // reply).  The server may have executed the query.
       last = WireResult{};
       last.status = transport_lost_status();
+    } else {
+      // Connect-stage failure: no bytes ever reached a server, so the
+      // query provably never executed and a retry can never
+      // double-apply it — retryable even for non-idempotent policies
+      // (the server may simply not be listening yet).
+      last = WireResult{};
+      last.status = connect_failed_status();
     }
     last.attempts = static_cast<std::uint32_t>(attempt);
     if (last.ok()) return last;
     if (attempt >= max_attempts) break;
-    if (!is_retryable(last.status.code, policy_.idempotent)) return last;
+    if (sent && !is_retryable(last.status.code, policy_.idempotent)) return last;
+    if (!sent && !is_retryable(last.status.code, /*idempotent=*/true)) return last;
     const auto delay = backoff_delay(attempt, last.retry_after_ms);
     // Deadline cap: a retry that cannot start (let alone finish) before
     // the query's Qos deadline would only burn a server slot to learn

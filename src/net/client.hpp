@@ -55,7 +55,9 @@ struct RetryPolicy {
   /// Range aggregations rebuilt from scratch are; queries folding into
   /// existing output products are not.  Gates retry on kIoError /
   /// kUnavailable — kBusy is always retryable (the server refused
-  /// before doing work).
+  /// before doing work).  Failures at connect() time are likewise
+  /// always retryable: no bytes ever reached a server, so the query
+  /// provably never executed, idempotent or not.
   bool idempotent = true;
   /// Seed for the jitter RNG (deterministic backoff schedules in tests).
   std::uint64_t seed = 0;
@@ -160,9 +162,14 @@ class AdrClient {
   bool connect_locked();
   /// The retry loop.  Caller holds io_mutex_.
   WireResult submit_locked(const Query& query, const ExecOptions& options);
-  /// One send+receive attempt.  Returns nullopt on transport failure.
+  /// One send+receive attempt.  Returns nullopt on transport failure;
+  /// `sent` reports whether any query bytes may have reached the server
+  /// (false = the failure happened at connect time, so the query
+  /// provably never executed and a retry is safe even for
+  /// non-idempotent policies).
   std::optional<WireResult> attempt_locked(const Query& query,
-                                           const ExecOptions& options);
+                                           const ExecOptions& options,
+                                           bool& sent);
   /// Backoff for retry number `retry` (1-based), stretched to the
   /// server's hint when one was given.
   std::chrono::milliseconds backoff_delay(int retry, std::uint32_t hint_ms);

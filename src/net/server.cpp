@@ -3,14 +3,15 @@
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
-#ifdef __linux__
-#include <sys/epoll.h>
+// Poller (net/poller.hpp) defines ADR_HAVE_EPOLL on Linux; this file
+// keys its eventfd-vs-pipe wakeup choice off the same macro.
+#include "net/poller.hpp"
+
+#ifdef ADR_HAVE_EPOLL
 #include <sys/eventfd.h>
-#define ADR_HAVE_EPOLL 1
 #endif
 
 #include <algorithm>
@@ -91,130 +92,6 @@ void set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
   if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
-
-/// Readiness-notification façade: epoll on Linux, poll(2) elsewhere.
-/// Level-triggered in both variants; each registered fd carries a
-/// caller tag returned with its events.
-class Poller {
- public:
-  struct Ready {
-    std::uint64_t tag = 0;
-    bool readable = false;
-    bool writable = false;
-  };
-
-  Poller() {
-#ifdef ADR_HAVE_EPOLL
-    ep_ = ::epoll_create1(EPOLL_CLOEXEC);
-    if (ep_ < 0) throw std::runtime_error("AdrServer: epoll_create1() failed");
-#endif
-  }
-
-  ~Poller() {
-#ifdef ADR_HAVE_EPOLL
-    if (ep_ >= 0) ::close(ep_);
-#endif
-  }
-
-  /// Returns false if the fd could not be registered (ENOMEM/ENOSPC);
-  /// the caller must not expect events for it.
-  [[nodiscard]] bool add(int fd, std::uint64_t tag, bool rd, bool wr) {
-#ifdef ADR_HAVE_EPOLL
-    epoll_event ev{};
-    ev.events = events_of(rd, wr);
-    ev.data.u64 = tag;
-    if (::epoll_ctl(ep_, EPOLL_CTL_ADD, fd, &ev) != 0) {
-      ADR_WARN("server: EPOLL_CTL_ADD failed for fd=" << fd << ": "
-                                                      << std::strerror(errno));
-      return false;
-    }
-#else
-    entries_[fd] = Entry{tag, rd, wr};
-#endif
-    return true;
-  }
-
-  void mod(int fd, std::uint64_t tag, bool rd, bool wr) {
-#ifdef ADR_HAVE_EPOLL
-    epoll_event ev{};
-    ev.events = events_of(rd, wr);
-    ev.data.u64 = tag;
-    if (::epoll_ctl(ep_, EPOLL_CTL_MOD, fd, &ev) != 0) {
-      ADR_WARN("server: EPOLL_CTL_MOD failed for fd=" << fd << ": "
-                                                      << std::strerror(errno));
-    }
-#else
-    entries_[fd] = Entry{tag, rd, wr};
-#endif
-  }
-
-  void del(int fd) {
-#ifdef ADR_HAVE_EPOLL
-    ::epoll_ctl(ep_, EPOLL_CTL_DEL, fd, nullptr);
-#else
-    entries_.erase(fd);
-#endif
-  }
-
-  /// Blocks up to timeout_ms (-1 = indefinitely) and fills `out`.
-  void wait(std::vector<Ready>& out, int timeout_ms) {
-    out.clear();
-#ifdef ADR_HAVE_EPOLL
-    epoll_event events[256];
-    const int n = ::epoll_wait(ep_, events, 256, timeout_ms);
-    for (int i = 0; i < n; ++i) {
-      Ready r;
-      r.tag = events[i].data.u64;
-      // Errors and hangups surface as readability: the owner's read
-      // path observes the close/error and tears the connection down.
-      r.readable = (events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0;
-      r.writable = (events[i].events & (EPOLLOUT | EPOLLERR)) != 0;
-      out.push_back(r);
-    }
-#else
-    std::vector<pollfd> fds;
-    std::vector<std::uint64_t> tags;
-    fds.reserve(entries_.size());
-    for (const auto& [fd, e] : entries_) {
-      pollfd p{};
-      p.fd = fd;
-      if (e.rd) p.events |= POLLIN;
-      if (e.wr) p.events |= POLLOUT;
-      fds.push_back(p);
-      tags.push_back(e.tag);
-    }
-    const int n = ::poll(fds.data(), fds.size(), timeout_ms);
-    if (n <= 0) return;
-    for (std::size_t i = 0; i < fds.size(); ++i) {
-      if (fds[i].revents == 0) continue;
-      Ready r;
-      r.tag = tags[i];
-      r.readable = (fds[i].revents & (POLLIN | POLLERR | POLLHUP)) != 0;
-      r.writable = (fds[i].revents & (POLLOUT | POLLERR)) != 0;
-      out.push_back(r);
-    }
-#endif
-  }
-
- private:
-#ifdef ADR_HAVE_EPOLL
-  static std::uint32_t events_of(bool rd, bool wr) {
-    std::uint32_t e = 0;
-    if (rd) e |= EPOLLIN;
-    if (wr) e |= EPOLLOUT;
-    return e;
-  }
-  int ep_ = -1;
-#else
-  struct Entry {
-    std::uint64_t tag = 0;
-    bool rd = false;
-    bool wr = false;
-  };
-  std::unordered_map<int, Entry> entries_;
-#endif
-  friend class PollerFriend;
-};
 
 }  // namespace
 
@@ -604,6 +481,7 @@ void AdrServer::loop_accept(LoopState& ls) {
     // inherit client sockets.
     ::fcntl(fd, F_SETFD, FD_CLOEXEC);
 #endif
+    set_tcp_nodelay(fd);
     ls.accept_error_streak = 0;
     if (ls.serving_count >= static_cast<std::size_t>(max_connections_)) {
       loop_refuse(ls, fd);

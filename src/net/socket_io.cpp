@@ -1,5 +1,7 @@
 #include "net/socket_io.hpp"
 
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -9,6 +11,12 @@
 #include "common/fault.hpp"
 
 namespace adr::net {
+
+void set_tcp_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
 namespace {
 
 bool read_exact(int fd, std::byte* out, std::size_t n) {
@@ -29,6 +37,44 @@ bool write_exact(int fd, const std::byte* data, std::size_t n) {
   std::size_t sent = 0;
   while (sent < n) {
     const ssize_t r = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+/// Sends header + payload as ONE syscall (one TCP segment when they
+/// fit).  Two back-to-back send()s would put a lone 4-byte segment on
+/// the wire and leave the payload parked behind Nagle waiting for the
+/// peer's delayed ACK — a ~40ms stall per frame on loopback.
+bool write_two(int fd, const std::byte* head, std::size_t head_n,
+               const std::byte* body, std::size_t body_n) {
+  const std::size_t total = head_n + body_n;
+  std::size_t sent = 0;
+  while (sent < total) {
+    iovec iov[2];
+    int iovcnt = 0;
+    if (sent < head_n) {
+      iov[iovcnt].iov_base = const_cast<std::byte*>(head + sent);
+      iov[iovcnt].iov_len = head_n - sent;
+      ++iovcnt;
+      if (body_n > 0) {
+        iov[iovcnt].iov_base = const_cast<std::byte*>(body);
+        iov[iovcnt].iov_len = body_n;
+        ++iovcnt;
+      }
+    } else {
+      iov[iovcnt].iov_base = const_cast<std::byte*>(body + (sent - head_n));
+      iov[iovcnt].iov_len = body_n - (sent - head_n);
+      ++iovcnt;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<decltype(msg.msg_iovlen)>(iovcnt);
+    const ssize_t r = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
     if (r < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -69,17 +115,16 @@ bool write_frame(int fd, const std::vector<std::byte>& payload) {
   for (int i = 0; i < 4; ++i) {
     header[i] = static_cast<std::byte>((length >> (8 * i)) & 0xff);
   }
-  if (!write_exact(fd, header, 4)) return false;
-  if (payload.empty()) return true;
+  if (payload.empty()) return write_exact(fd, header, 4);
   // Injected short write: the header and half the payload reach the
   // peer, then the connection "dies".  The receiver's read_exact on the
   // remainder blocks until our side closes, then fails — exercising the
   // torn-frame path without a real network.
   if (fault::faults().fires("net.short_write")) {
-    write_exact(fd, payload.data(), payload.size() / 2);
+    write_two(fd, header, 4, payload.data(), payload.size() / 2);
     return false;
   }
-  return write_exact(fd, payload.data(), payload.size());
+  return write_two(fd, header, 4, payload.data(), payload.size());
 }
 
 // ------------------------------------------------------- FrameReader

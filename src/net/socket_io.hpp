@@ -34,6 +34,13 @@ namespace adr::net {
 /// Largest accepted frame (1 GiB).
 inline constexpr std::uint32_t kMaxFrameBytes = 1u << 30;
 
+/// Disables Nagle on a connected TCP socket.  The framed
+/// request/response protocol is exactly the write-write-read shape
+/// Nagle punishes: without this, a request frame can sit behind the
+/// peer's delayed ACK for ~40ms.  Every serving-path socket (client,
+/// server accept, router relay) sets it.
+void set_tcp_nodelay(int fd);
+
 /// Reads one frame; returns false on orderly close or error.
 bool read_frame(int fd, std::vector<std::byte>& payload);
 

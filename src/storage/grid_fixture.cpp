@@ -1,0 +1,71 @@
+#include "storage/grid_fixture.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "core/frontend.hpp"
+
+namespace adr {
+
+Rect grid_cell(const Rect& domain, int n, int ix, int iy) {
+  const double dx = domain.extent(0) / n;
+  const double dy = domain.extent(1) / n;
+  const double e = 1e-9;
+  return Rect(Point{domain.lo()[0] + ix * dx + e * dx,
+                    domain.lo()[1] + iy * dy + e * dy},
+              Point{domain.lo()[0] + (ix + 1) * dx - e * dx,
+                    domain.lo()[1] + (iy + 1) * dy - e * dy});
+}
+
+std::uint64_t grid_full_sum(const GridSpec& spec, int d) {
+  const std::uint64_t cells =
+      static_cast<std::uint64_t>(spec.n) * static_cast<std::uint64_t>(spec.n);
+  return static_cast<std::uint64_t>(d) * 100 * cells +
+         cells * (cells - 1) / 2;
+}
+
+std::vector<GridIds> create_grid_datasets(Repository& repo,
+                                          const GridSpec& spec) {
+  if (spec.datasets < 1 || spec.n < 1 || spec.out_n < 1) {
+    throw std::invalid_argument("create_grid_datasets: non-positive spec");
+  }
+  const Rect domain = Rect::cube(2, 0.0, 1.0);
+  std::vector<GridIds> ids;
+  ids.reserve(static_cast<std::size_t>(spec.datasets));
+  for (int d = 0; d < spec.datasets; ++d) {
+    std::vector<Chunk> inputs;
+    inputs.reserve(static_cast<std::size_t>(spec.n) * spec.n);
+    for (int iy = 0; iy < spec.n; ++iy) {
+      for (int ix = 0; ix < spec.n; ++ix) {
+        ChunkMeta meta;
+        meta.mbr = grid_cell(domain, spec.n, ix, iy);
+        const std::uint64_t value =
+            static_cast<std::uint64_t>(d) * 100 +
+            static_cast<std::uint64_t>(iy) * spec.n + ix;
+        std::vector<std::byte> payload(sizeof(std::uint64_t));
+        std::memcpy(payload.data(), &value, payload.size());
+        inputs.emplace_back(meta, std::move(payload));
+      }
+    }
+    std::vector<Chunk> outputs;
+    outputs.reserve(static_cast<std::size_t>(spec.out_n) * spec.out_n);
+    for (int iy = 0; iy < spec.out_n; ++iy) {
+      for (int ix = 0; ix < spec.out_n; ++ix) {
+        ChunkMeta meta;
+        meta.mbr = grid_cell(domain, spec.out_n, ix, iy);
+        // One sum-count-max accumulator: sum, count, max (3 x u64).
+        outputs.emplace_back(meta, std::vector<std::byte>(24, std::byte{0}));
+      }
+    }
+    GridIds pair;
+    pair.input = repo.create_dataset("grid_in_" + std::to_string(d), domain,
+                                     std::move(inputs));
+    pair.output = repo.create_dataset("grid_out_" + std::to_string(d), domain,
+                                      std::move(outputs));
+    ids.push_back(pair);
+  }
+  return ids;
+}
+
+}  // namespace adr

@@ -1,0 +1,58 @@
+// Deterministic grid datasets shared by every process of a sharded
+// deployment.
+//
+// The router's chaos harness compares results produced by *different
+// processes* — routed backends against a single-process oracle — so the
+// datasets must be byte-identically reconstructible from nothing but a
+// spec: adr_backend, the test oracle and bench_router_scaleout all call
+// create_grid_datasets() with the same GridSpec and get the same
+// chunks, ids and payloads.  (The in-process tests' ad-hoc fixtures in
+// tests/test_helpers.hpp stay; this is the cross-process flavor.)
+//
+// Layout per dataset d (0-based):
+//   input  "grid_in_<d>":  n x n chunks over the unit square; chunk
+//     (ix, iy) holds one u64 value d * 100 + iy * n + ix
+//   output "grid_out_<d>": out_n x out_n chunks of 24 zero bytes
+//     (one sum-count-max accumulator)
+// so a full-domain sum-count-max over dataset d sums to
+//   d * 100 * n^2 + n^2 (n^2 - 1) / 2      (= 1600 d + 120 for n = 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.hpp"
+
+namespace adr {
+
+class Repository;
+
+struct GridSpec {
+  /// Independent input/output dataset pairs (distinct ids spread over a
+  /// router's hash ring).
+  int datasets = 1;
+  /// Input grid side (n x n input chunks per dataset).
+  int n = 4;
+  /// Output grid side (out_n x out_n output chunks per dataset).
+  int out_n = 2;
+};
+
+struct GridIds {
+  std::uint32_t input = 0;
+  std::uint32_t output = 0;
+};
+
+/// Axis-aligned cell (ix, iy) of an n x n split of `domain`, inset by a
+/// relative epsilon so neighboring cells never touch (chunk MBRs stay
+/// disjoint and range intersection is unambiguous).
+Rect grid_cell(const Rect& domain, int n, int ix, int iy);
+
+/// The expected full-domain sum-count-max *sum* over dataset `d`.
+std::uint64_t grid_full_sum(const GridSpec& spec, int d);
+
+/// Creates the spec's datasets in `repo` (ids in dataset order).
+/// Throws std::invalid_argument on a non-positive spec field.
+std::vector<GridIds> create_grid_datasets(Repository& repo,
+                                          const GridSpec& spec = {});
+
+}  // namespace adr

@@ -1,0 +1,73 @@
+// adr_router: the sharded serving tier's front-end process.
+//
+// Routes client queries over a set of adr_backend processes by dataset
+// signature (consistent hashing; see src/net/router.hpp), with
+// failover, health probing and replica fan-out.  Prints the bound port
+// (machine-parseable `port=` line) and serves until stdin reaches EOF
+// or the process is signalled.  Point adr_stats at the printed port
+// for the router.* health and failover series.
+//
+// Usage:
+//   adr_router --backend <port> [--backend <port>]... [--port <p>]
+//              [--replication <r>] [--forwarders <n>] [--attempts <n>]
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "net/router.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --backend <port> [--backend <port>]... [--port <p>]"
+               " [--replication <r>] [--forwarders <n>] [--attempts <n>]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  adr::net::RouterConfig config;
+  std::uint16_t port = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--backend" && i + 1 < argc) {
+      config.backend_ports.push_back(
+          static_cast<std::uint16_t>(std::strtoul(argv[++i], nullptr, 10)));
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = static_cast<std::uint16_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--replication" && i + 1 < argc) {
+      config.replication = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+      if (config.replication < 1) return usage(argv[0]);
+    } else if (arg == "--forwarders" && i + 1 < argc) {
+      config.forwarders = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+      if (config.forwarders < 1) return usage(argv[0]);
+    } else if (arg == "--attempts" && i + 1 < argc) {
+      config.retry.max_attempts =
+          static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+      if (config.retry.max_attempts < 1) return usage(argv[0]);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (config.backend_ports.empty()) return usage(argv[0]);
+
+  try {
+    adr::net::AdrRouter router(config, port);
+    router.start();
+    std::cout << "port=" << router.port() << "\n" << std::flush;
+    std::cerr << "adr_router: routing over " << config.backend_ports.size()
+              << " backend(s) on 127.0.0.1:" << router.port()
+              << "; EOF on stdin stops\n";
+    std::string line;
+    while (std::getline(std::cin, line)) {
+    }
+    router.stop();
+  } catch (const std::exception& e) {
+    std::cerr << "adr_router: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -156,6 +156,46 @@ void print_cache_summary(const JsonValue& snapshot) {
              value("cache.marginal.misses"));
 }
 
+/// Router health summary (docs/sharding.md), printed only when the
+/// queried process is an adr_router (router.* series present): total
+/// routed/failover traffic plus per-backend up/down and query counts,
+/// on stderr so stdout stays machine-parseable.
+void print_router_summary(const JsonValue& snapshot) {
+  const JsonValue* counters = snapshot.find("counters");
+  const JsonValue* gauges = snapshot.find("gauges");
+  if (counters == nullptr || counters->find("router.queries") == nullptr) {
+    return;  // not a router
+  }
+  const auto value = [&](const char* name) {
+    const JsonValue* v = counters->find(name);
+    return v != nullptr ? v->number_or(0.0) : 0.0;
+  };
+  std::cerr << "router: " << static_cast<std::uint64_t>(value("router.queries"))
+            << " queries, "
+            << static_cast<std::uint64_t>(value("router.failovers"))
+            << " failovers, "
+            << static_cast<std::uint64_t>(value("router.exhausted"))
+            << " exhausted\n";
+  // Per-backend rows: router.backend.<port>.queries counters paired
+  // with router.backend.<port>.up gauges.
+  const std::string prefix = "router.backend.";
+  for (const auto& [name, v] : counters->object) {
+    if (name.rfind(prefix, 0) != 0) continue;
+    const std::size_t dot = name.find('.', prefix.size());
+    if (dot == std::string::npos || name.substr(dot + 1) != "queries") continue;
+    const std::string backend_port = name.substr(prefix.size(), dot - prefix.size());
+    double up = 1.0;
+    if (gauges != nullptr) {
+      if (const JsonValue* g = gauges->find(prefix + backend_port + ".up")) {
+        up = g->number_or(1.0);
+      }
+    }
+    std::cerr << "  backend " << backend_port << ": "
+              << (up != 0.0 ? "up" : "DOWN") << ", "
+              << static_cast<std::uint64_t>(v.number_or(0.0)) << " queries\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -193,7 +233,9 @@ int main(int argc, char** argv) {
 
       if (json) {
         std::cout << reply.metrics_json << "\n";
-        print_cache_summary(adr::tools::parse_json(reply.metrics_json));
+        const JsonValue snapshot = adr::tools::parse_json(reply.metrics_json);
+        print_cache_summary(snapshot);
+        print_router_summary(snapshot);
       } else if (watch_s > 0.0) {
         const JsonValue snapshot = adr::tools::parse_json(reply.metrics_json);
         JsonValue history;
@@ -211,6 +253,7 @@ int main(int argc, char** argv) {
         print_gauges_and_histograms(snapshot, frame);
         std::cout << frame.str();
         print_cache_summary(snapshot);
+        print_router_summary(snapshot);
       }
 
       if (!trace_path.empty()) {
